@@ -1,0 +1,52 @@
+"""Shared builder for the RQ2 impact-table benches (Tables II-XIII)."""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+
+from repro import ImpactAnalysis
+from repro.reporting import render_impact_matrix
+
+_METRIC_TITLES = {"PP": "PREDICTIVE PARITY", "EO": "EQUAL OPPORTUNITY"}
+_ERROR_TITLES = {
+    "missing_values": "MISSING VALUES",
+    "outliers": "OUTLIERS",
+    "mislabels": "LABEL ERRORS",
+}
+_GROUP_TITLES = {False: "SINGLE-ATTRIBUTE", True: "INTERSECTIONAL"}
+
+
+def build_impact_table(
+    store, table_number: str, error_type: str, metric: str, intersectional: bool
+) -> str:
+    """Render one of Tables II-XIII from the shared store."""
+    analysis = ImpactAnalysis(store)
+    matrix = analysis.matrix(error_type, metric, intersectional=intersectional)
+    title = (
+        f"TABLE {table_number}: IMPACT OF AUTO-CLEANING "
+        f"{_ERROR_TITLES[error_type]} FOR {_GROUP_TITLES[intersectional]} "
+        f"GROUPS,\nWITH {_METRIC_TITLES[metric]} AS FAIRNESS METRIC."
+    )
+    return render_impact_matrix(matrix, title)
+
+
+def run_impact_bench(
+    benchmark,
+    store,
+    artifact: str,
+    pairs: list[tuple[str, str, str, bool]],
+) -> str:
+    """Benchmark and persist a group of impact tables.
+
+    ``pairs`` holds (table_number, error_type, metric, intersectional).
+    """
+
+    def build() -> str:
+        return "\n\n".join(
+            build_impact_table(store, number, error_type, metric, intersectional)
+            for number, error_type, metric, intersectional in pairs
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_artifact(artifact, text)
+    return text

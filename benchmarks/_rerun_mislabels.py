@@ -1,0 +1,30 @@
+"""Purge and re-run the mislabel records (after a detector fix)."""
+from pathlib import Path
+import json
+
+from repro import StudyConfig, ExperimentRunner
+from repro.benchmark import ResultStore
+from repro.datasets import DATASET_NAMES
+
+STORE_PATH = Path(__file__).parent / "_results" / "study.json"
+
+
+def main() -> None:
+    payload = json.loads(STORE_PATH.read_text())
+    kept = [r for r in payload["records"] if r["error_type"] != "mislabels"]
+    print(f"dropping {len(payload['records']) - len(kept)} mislabel records")
+    STORE_PATH.write_text(json.dumps({"records": kept}, indent=1))
+
+    store = ResultStore(STORE_PATH)
+    config = StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=12)
+    runner = ExperimentRunner(config, store)
+    for dataset in DATASET_NAMES:
+        added = runner.run_dataset_error(dataset, "mislabels")
+        print(f"{dataset}/mislabels: +{added} (total {len(store)})", flush=True)
+        if added:
+            store.save()
+    print("mislabels rerun complete", flush=True)
+
+
+if __name__ == "__main__":
+    main()

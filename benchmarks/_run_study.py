@@ -1,0 +1,36 @@
+"""Populate the shared bench result store (resumable).
+
+Scale: n_sample=3000 with a 40% test split; 12 repetitions for
+missing values and mislabels, 8 for outliers (which have 10 model
+versions per repetition). The store is keyed per run, so re-running
+this script resumes instead of recomputing.
+"""
+from pathlib import Path
+
+from repro import StudyConfig, ExperimentRunner
+from repro.benchmark import ResultStore
+from repro.datasets import DATASET_NAMES
+
+STORE_PATH = Path(__file__).parent / "_results" / "study.json"
+
+CONFIGS = {
+    "missing_values": StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=12),
+    "mislabels": StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=12),
+    "outliers": StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=8),
+}
+
+
+def main() -> None:
+    store = ResultStore(STORE_PATH)
+    for error_type, config in CONFIGS.items():
+        runner = ExperimentRunner(config, store)
+        for dataset in DATASET_NAMES:
+            added = runner.run_dataset_error(dataset, error_type)
+            print(f"{dataset}/{error_type}: +{added} (total {len(store)})", flush=True)
+            if added:
+                store.save()
+    print("study complete:", len(store), "records", flush=True)
+
+
+if __name__ == "__main__":
+    main()

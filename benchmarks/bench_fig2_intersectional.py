@@ -1,0 +1,34 @@
+"""Figure 2: intersectional disparity analysis (RQ1).
+
+Same analysis as Figure 1 for the intersectionally privileged vs
+intersectionally disadvantaged groups (credit is excluded: it has a
+single sensitive attribute).
+"""
+
+from conftest import save_artifact
+
+from repro import DisparityAnalysis
+from repro.reporting import render_disparity_figure
+
+
+def build_figure(disparity_tables) -> str:
+    analysis = DisparityAnalysis(alpha=0.05, random_state=0)
+    findings = []
+    for name, (definition, table) in disparity_tables.items():
+        findings.extend(analysis.intersectional(definition, table))
+    return render_disparity_figure(
+        findings,
+        "FIG 2: INTERSECTIONAL ANALYSIS — disparate proportions of tuples "
+        "flagged\nfor the intersectionally privileged and disadvantaged groups "
+        "(* = significant, G² at p=.05)",
+    )
+
+
+def test_fig2_intersectional(benchmark, disparity_tables):
+    text = benchmark.pedantic(
+        build_figure, args=(disparity_tables,), rounds=1, iterations=1
+    )
+    save_artifact("fig2_intersectional.txt", text)
+    assert "adult / sex_x_race" in text
+    # credit has one sensitive attribute and must not appear
+    assert "credit" not in text

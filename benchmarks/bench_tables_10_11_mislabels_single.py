@@ -1,0 +1,16 @@
+"""Tables X & XI: label-error cleaning, single-attribute groups."""
+
+from _impact_bench import run_impact_bench
+
+
+def test_tables_10_11_mislabels_single(benchmark, study_store):
+    text = run_impact_bench(
+        benchmark,
+        study_store,
+        "tables_10_11_mislabels_single.txt",
+        [
+            ("X", "mislabels", "PP", False),
+            ("XI", "mislabels", "EO", False),
+        ],
+    )
+    assert "TABLE X" in text and "TABLE XI" in text

@@ -1,0 +1,16 @@
+"""Tables XII & XIII: label-error cleaning, intersectional groups."""
+
+from _impact_bench import run_impact_bench
+
+
+def test_tables_12_13_mislabels_intersectional(benchmark, study_store):
+    text = run_impact_bench(
+        benchmark,
+        study_store,
+        "tables_12_13_mislabels_intersectional.txt",
+        [
+            ("XII", "mislabels", "PP", True),
+            ("XIII", "mislabels", "EO", True),
+        ],
+    )
+    assert "TABLE XII" in text and "TABLE XIII" in text

@@ -1,0 +1,16 @@
+"""Tables II & III: missing-value cleaning, single-attribute groups."""
+
+from _impact_bench import run_impact_bench
+
+
+def test_tables_2_3_missing_single(benchmark, study_store):
+    text = run_impact_bench(
+        benchmark,
+        study_store,
+        "tables_2_3_missing_single.txt",
+        [
+            ("II", "missing_values", "PP", False),
+            ("III", "missing_values", "EO", False),
+        ],
+    )
+    assert "TABLE II" in text and "TABLE III" in text

@@ -1,0 +1,16 @@
+"""Tables IV & V: missing-value cleaning, intersectional groups."""
+
+from _impact_bench import run_impact_bench
+
+
+def test_tables_4_5_missing_intersectional(benchmark, study_store):
+    text = run_impact_bench(
+        benchmark,
+        study_store,
+        "tables_4_5_missing_intersectional.txt",
+        [
+            ("IV", "missing_values", "PP", True),
+            ("V", "missing_values", "EO", True),
+        ],
+    )
+    assert "TABLE IV" in text and "TABLE V" in text

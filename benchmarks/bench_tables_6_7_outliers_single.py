@@ -1,0 +1,16 @@
+"""Tables VI & VII: outlier cleaning, single-attribute groups."""
+
+from _impact_bench import run_impact_bench
+
+
+def test_tables_6_7_outliers_single(benchmark, study_store):
+    text = run_impact_bench(
+        benchmark,
+        study_store,
+        "tables_6_7_outliers_single.txt",
+        [
+            ("VI", "outliers", "PP", False),
+            ("VII", "outliers", "EO", False),
+        ],
+    )
+    assert "TABLE VI" in text and "TABLE VII" in text

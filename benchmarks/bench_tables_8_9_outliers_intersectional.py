@@ -1,0 +1,16 @@
+"""Tables VIII & IX: outlier cleaning, intersectional groups."""
+
+from _impact_bench import run_impact_bench
+
+
+def test_tables_8_9_outliers_intersectional(benchmark, study_store):
+    text = run_impact_bench(
+        benchmark,
+        study_store,
+        "tables_8_9_outliers_intersectional.txt",
+        [
+            ("VIII", "outliers", "PP", True),
+            ("IX", "outliers", "EO", True),
+        ],
+    )
+    assert "TABLE VIII" in text and "TABLE IX" in text

@@ -1,0 +1,80 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+The RQ2 benches read a shared, resumable result store
+(``benchmarks/_results/study.json``). If the store is missing runs for
+an error type, the fixture populates them on first use (this is the
+expensive part — roughly an hour for the full study on a laptop — and
+happens only once thanks to the store's resume capability). Rendered
+tables are also written to ``benchmarks/_results/*.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import ExperimentRunner, StudyConfig
+from repro.benchmark import ResultStore
+from repro.datasets import DATASET_NAMES, dataset_definition
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+STORE_PATH = RESULTS_DIR / "study.json"
+
+#: Same scales as benchmarks/_run_study.py (kept in sync manually so
+#: the bench suite can both consume a pre-built store and build one).
+STUDY_CONFIGS = {
+    "missing_values": StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=12),
+    "mislabels": StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=12),
+    "outliers": StudyConfig(n_sample=3_000, test_fraction=0.4, n_repetitions=8),
+}
+
+#: Dataset sizes used for the RQ1 disparity figures.
+DISPARITY_SIZES = {
+    "adult": 6_000,
+    "folk": 8_000,
+    "credit": 8_000,
+    "german": 1_000,
+    "heart": 8_000,
+}
+
+
+def ensure_error_type(store: ResultStore, error_type: str) -> None:
+    """Populate any missing runs for one error type (resumable)."""
+    runner = ExperimentRunner(STUDY_CONFIGS[error_type], store)
+    for dataset in DATASET_NAMES:
+        added = runner.run_dataset_error(dataset, error_type)
+        if added:
+            store.save()
+
+
+@pytest.fixture(scope="session")
+def study_store() -> ResultStore:
+    """The shared result store, populated for all three error types."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    store = ResultStore(STORE_PATH)
+    for error_type in ("missing_values", "outliers", "mislabels"):
+        ensure_error_type(store, error_type)
+    return store
+
+
+@pytest.fixture(scope="session")
+def disparity_tables():
+    """Generated tables for the RQ1 analysis, keyed by dataset name."""
+    return {
+        name: (
+            dataset_definition(name),
+            dataset_definition(name).generate(
+                n_rows=DISPARITY_SIZES[name], seed=0
+            ),
+        )
+        for name in DATASET_NAMES
+    }
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure alongside the result store."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)

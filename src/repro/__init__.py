@@ -1,0 +1,52 @@
+"""repro — reproduction of "Automated Data Cleaning Can Hurt Fairness
+in Machine Learning-based Decision Making" (Guha et al., ICDE 2023).
+
+The package rebuilds the paper's full experimental apparatus from
+scratch on numpy/scipy:
+
+- :mod:`repro.tabular` — columnar table substrate,
+- :mod:`repro.ml` — classifiers, preprocessing, model selection,
+- :mod:`repro.cleaning` — error detection and automated repair,
+- :mod:`repro.fairness` — protected groups and fairness metrics,
+- :mod:`repro.stats` — G² test and paired-t-test impact protocol,
+- :mod:`repro.datasets` — the five benchmark datasets (synthetic),
+- :mod:`repro.benchmark` — the experimentation framework (Fig. 3),
+- :mod:`repro.reporting` — paper-style table/figure renderers.
+
+Quickstart::
+
+    from repro import StudyConfig, ResultStore, ExperimentRunner, ImpactAnalysis
+
+    store = ResultStore("results.json")
+    runner = ExperimentRunner(StudyConfig.laptop_scale(), store)
+    runner.run_dataset_error("german", "missing_values")
+    analysis = ImpactAnalysis(store)
+    matrix = analysis.matrix("missing_values", "PP", intersectional=False)
+"""
+
+from repro.benchmark import (
+    DeepDive,
+    DisparityAnalysis,
+    ExperimentRunner,
+    FairnessAwareSelector,
+    ImpactAnalysis,
+    ResultStore,
+    StudyConfig,
+)
+from repro.datasets import DATASET_NAMES, dataset_definition, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StudyConfig",
+    "ResultStore",
+    "ExperimentRunner",
+    "ImpactAnalysis",
+    "DisparityAnalysis",
+    "DeepDive",
+    "FairnessAwareSelector",
+    "DATASET_NAMES",
+    "dataset_definition",
+    "load_dataset",
+    "__version__",
+]

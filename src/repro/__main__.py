@@ -1,0 +1,206 @@
+"""Command-line interface for the reproduction study.
+
+Subcommands::
+
+    python -m repro datasets                      # Table I
+    python -m repro rq1 [--dataset NAME] [--intersectional]
+    python -m repro study --error-type TYPE --store PATH [options]
+    python -m repro tables --store PATH           # Tables II-XIII + XIV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    DATASET_NAMES,
+    DeepDive,
+    DisparityAnalysis,
+    ExperimentRunner,
+    ImpactAnalysis,
+    StudyConfig,
+    dataset_definition,
+    load_dataset,
+)
+from repro.benchmark import ResultStore
+from repro.reporting import (
+    render_case_counts,
+    render_dataset_table,
+    render_disparity_figure,
+    render_impact_matrix,
+    render_model_table,
+)
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        definition = dataset_definition(name)
+        rows.append(
+            {
+                "name": definition.name,
+                "source": definition.source_domain,
+                "n_tuples": definition.default_n_rows,
+                "sensitive_attributes": definition.sensitive_attributes,
+            }
+        )
+    print(render_dataset_table(rows, "TABLE I: DATASETS"))
+    return 0
+
+
+def _cmd_rq1(args: argparse.Namespace) -> int:
+    names = [args.dataset] if args.dataset else list(DATASET_NAMES)
+    analysis = DisparityAnalysis(random_state=args.seed)
+    findings = []
+    for name in names:
+        definition, table = load_dataset(name, n_rows=args.n_rows, seed=args.seed)
+        if args.intersectional:
+            findings.extend(analysis.intersectional(definition, table))
+        else:
+            findings.extend(analysis.single_attribute(definition, table))
+    kind = "INTERSECTIONAL" if args.intersectional else "SINGLE-ATTRIBUTE"
+    print(
+        render_disparity_figure(
+            findings, f"RQ1 {kind} DISPARITY ANALYSIS (* = significant, G² p=.05)"
+        )
+    )
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    config = StudyConfig(
+        n_sample=args.n_sample,
+        test_fraction=args.test_fraction,
+        n_repetitions=args.repetitions,
+        n_tuning_seeds=args.tuning_seeds,
+    )
+    store = ResultStore(args.store)
+    runner = ExperimentRunner(config, store)
+    names = [args.dataset] if args.dataset else list(DATASET_NAMES)
+    error_types = (
+        [args.error_type]
+        if args.error_type
+        else ["missing_values", "outliers", "mislabels"]
+    )
+    total = 0
+    for error_type in error_types:
+        for name in names:
+            added = runner.run_dataset_error(name, error_type)
+            total += added
+            print(f"{name}/{error_type}: +{added}", flush=True)
+            if added:
+                store.save()
+    print(f"added {total} records ({len(store)} in store)")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        print(f"store {args.store} is empty; run `python -m repro study` first")
+        return 1
+    analysis = ImpactAnalysis(store)
+    numbering = {
+        ("missing_values", "PP", False): "II",
+        ("missing_values", "EO", False): "III",
+        ("missing_values", "PP", True): "IV",
+        ("missing_values", "EO", True): "V",
+        ("outliers", "PP", False): "VI",
+        ("outliers", "EO", False): "VII",
+        ("outliers", "PP", True): "VIII",
+        ("outliers", "EO", True): "IX",
+        ("mislabels", "PP", False): "X",
+        ("mislabels", "EO", False): "XI",
+        ("mislabels", "PP", True): "XII",
+        ("mislabels", "EO", True): "XIII",
+    }
+    for (error_type, metric, intersectional), number in numbering.items():
+        matrix = analysis.matrix(error_type, metric, intersectional=intersectional)
+        if matrix.total == 0:
+            continue
+        group = "INTERSECTIONAL" if intersectional else "SINGLE-ATTRIBUTE"
+        print(
+            render_impact_matrix(
+                matrix,
+                f"TABLE {number}: {error_type} / {group} / {metric}",
+            )
+        )
+        print()
+    impacts = []
+    for error_type in ("missing_values", "outliers", "mislabels"):
+        for metric in ("PP", "EO"):
+            impacts.extend(
+                analysis.configuration_impacts(error_type, metric, intersectional=False)
+            )
+    if impacts:
+        deepdive = DeepDive(impacts)
+        print(render_model_table(deepdive.model_summaries(), "TABLE XIV: MODELS"))
+        print()
+        print(render_case_counts(deepdive.case_counts(), "CASE ANALYSIS"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting import build_study_report
+
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        print(f"store {args.store} is empty; run `python -m repro study` first")
+        return 1
+    report = build_study_report(store, title=args.title)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ICDE 2023 cleaning-vs-fairness reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print Table I").set_defaults(func=_cmd_datasets)
+
+    rq1 = sub.add_parser("rq1", help="run the RQ1 disparity analysis")
+    rq1.add_argument("--dataset", choices=DATASET_NAMES)
+    rq1.add_argument("--n-rows", type=int, default=5_000)
+    rq1.add_argument("--seed", type=int, default=0)
+    rq1.add_argument("--intersectional", action="store_true")
+    rq1.set_defaults(func=_cmd_rq1)
+
+    study = sub.add_parser("study", help="run RQ2 experiment configurations")
+    study.add_argument("--store", required=True, help="JSON result-store path")
+    study.add_argument("--dataset", choices=DATASET_NAMES)
+    study.add_argument(
+        "--error-type", choices=("missing_values", "outliers", "mislabels")
+    )
+    study.add_argument("--n-sample", type=int, default=2_000)
+    study.add_argument("--test-fraction", type=float, default=0.3)
+    study.add_argument("--repetitions", type=int, default=10)
+    study.add_argument("--tuning-seeds", type=int, default=1)
+    study.set_defaults(func=_cmd_study)
+
+    tables = sub.add_parser("tables", help="render Tables II-XIV from a store")
+    tables.add_argument("--store", required=True)
+    tables.set_defaults(func=_cmd_tables)
+
+    report = sub.add_parser("report", help="write a full markdown study report")
+    report.add_argument("--store", required=True)
+    report.add_argument("--output", help="output path (stdout when omitted)")
+    report.add_argument("--title", default="Study report")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The experimentation framework (the paper's core contribution).
+
+Extends the CleanML design with declarative sensitive-attribute
+definitions and automatic computation of group-wise confusion matrices
+per cleaning technique (Section IV), an impact analysis based on
+paired t-tests with Bonferroni correction (Section V), the RQ1
+disparity analysis (Section III) and the Section VI deep dive.
+"""
+
+from repro.benchmark.config import StudyConfig
+from repro.benchmark.models import MODEL_NAMES, model_search
+from repro.benchmark.results import ResultStore, RunRecord
+from repro.benchmark.runner import ExperimentRunner
+from repro.benchmark.impact import (
+    ConfigurationImpact,
+    ImpactAnalysis,
+    ImpactMatrix,
+)
+from repro.benchmark.disparity import DisparityAnalysis, DisparityFinding
+from repro.benchmark.deepdive import DeepDive
+from repro.benchmark.selection import FairnessAwareSelector
+
+__all__ = [
+    "StudyConfig",
+    "MODEL_NAMES",
+    "model_search",
+    "ResultStore",
+    "RunRecord",
+    "ExperimentRunner",
+    "ConfigurationImpact",
+    "ImpactAnalysis",
+    "ImpactMatrix",
+    "DisparityAnalysis",
+    "DisparityFinding",
+    "DeepDive",
+    "FairnessAwareSelector",
+]

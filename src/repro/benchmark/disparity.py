@@ -1,0 +1,224 @@
+"""RQ1: demographically disparate data-quality analysis (Figures 1-2).
+
+For every dataset, error-detection strategy and protected-group
+definition, compute the fraction of flagged tuples in the privileged
+and disadvantaged groups and test the disparity with a G² test at
+p = .05, reporting only significant cases — exactly the analysis
+behind the paper's Figures 1 and 2. The label-error drill-down
+(predicted false positives vs false negatives per group, Section III)
+is included as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cleaning.detection import (
+    IqrOutlierDetector,
+    IsolationForestOutlierDetector,
+    MissingValueDetector,
+    SdOutlierDetector,
+)
+from repro.cleaning.mislabels import ConfidentLearningDetector
+from repro.cleaning.repair import MissingValueRepair
+from repro.datasets import DatasetDefinition
+from repro.fairness.groups import GroupSpec, IntersectionalSpec
+from repro.ml import TabularFeaturizer
+from repro.stats.gtest import GTestResult, g_test_counts
+from repro.tabular import Table
+
+#: Detector names in the order of the paper's figures.
+DETECTOR_NAMES = (
+    "missing_values",
+    "outliers_sd",
+    "outliers_iqr",
+    "outliers_if",
+    "mislabels",
+)
+
+
+@dataclass(frozen=True)
+class DisparityFinding:
+    """One bar pair of Figure 1/2.
+
+    Attributes:
+        dataset: Dataset name.
+        detector: Detection-strategy name.
+        group_key: Group-spec key (e.g. ``sex`` or ``sex_x_race``).
+        privileged_fraction: Fraction of the privileged group flagged.
+        disadvantaged_fraction: Fraction of the disadvantaged group flagged.
+        privileged_flagged / privileged_total: Raw counts.
+        disadvantaged_flagged / disadvantaged_total: Raw counts.
+        test: The G² significance test over the counts.
+    """
+
+    dataset: str
+    detector: str
+    group_key: str
+    privileged_flagged: int
+    privileged_total: int
+    disadvantaged_flagged: int
+    disadvantaged_total: int
+    test: GTestResult
+
+    @property
+    def privileged_fraction(self) -> float:
+        """Fraction flagged in the privileged group."""
+        if self.privileged_total == 0:
+            return float("nan")
+        return self.privileged_flagged / self.privileged_total
+
+    @property
+    def disadvantaged_fraction(self) -> float:
+        """Fraction flagged in the disadvantaged group."""
+        if self.disadvantaged_total == 0:
+            return float("nan")
+        return self.disadvantaged_flagged / self.disadvantaged_total
+
+    @property
+    def significant(self) -> bool:
+        """Whether the disparity passes the G² test."""
+        return self.test.significant
+
+    @property
+    def burdens_disadvantaged(self) -> bool:
+        """True when errors concentrate in the disadvantaged group."""
+        return self.disadvantaged_fraction > self.privileged_fraction
+
+
+class DisparityAnalysis:
+    """Runs the RQ1 analysis over a dataset table."""
+
+    def __init__(self, alpha: float = 0.05, random_state: int = 0) -> None:
+        self.alpha = alpha
+        self.random_state = random_state
+
+    def _detector_masks(
+        self, definition: DatasetDefinition, table: Table
+    ) -> dict[str, np.ndarray]:
+        features = table.drop_columns([definition.label])
+        labels = table.column(definition.label).astype(np.int64)
+        masks: dict[str, np.ndarray] = {}
+        masks["missing_values"] = MissingValueDetector().detect(features).row_mask
+        masks["outliers_sd"] = SdOutlierDetector().detect(features).row_mask
+        masks["outliers_iqr"] = IqrOutlierDetector().detect(features).row_mask
+        masks["outliers_if"] = (
+            IsolationForestOutlierDetector(random_state=self.random_state)
+            .detect(features)
+            .row_mask
+        )
+        masks["mislabels"] = self._mislabel_mask(definition, features, labels)
+        return masks
+
+    def _mislabel_mask(
+        self,
+        definition: DatasetDefinition,
+        features: Table,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        # confident learning needs complete feature rows: impute first
+        # (mean/dummy), as the paper's pipeline does before detection
+        complete = MissingValueRepair().fit_transform(features)
+        X = TabularFeaturizer(
+            feature_columns=definition.feature_columns(complete)
+        ).fit_transform(complete)
+        detector = ConfidentLearningDetector(random_state=self.random_state)
+        return detector.detect(X, labels).row_mask
+
+    def _findings_for_masks(
+        self,
+        definition: DatasetDefinition,
+        table: Table,
+        masks: dict[str, np.ndarray],
+        specs,
+        only_significant: bool,
+    ) -> list[DisparityFinding]:
+        findings = []
+        for spec in specs:
+            privileged = spec.privileged_mask(table)
+            disadvantaged = spec.disadvantaged_mask(table)
+            for detector_name in DETECTOR_NAMES:
+                if detector_name not in masks:
+                    continue
+                flagged = masks[detector_name]
+                finding = DisparityFinding(
+                    dataset=definition.name,
+                    detector=detector_name,
+                    group_key=spec.key,
+                    privileged_flagged=int(flagged[privileged].sum()),
+                    privileged_total=int(privileged.sum()),
+                    disadvantaged_flagged=int(flagged[disadvantaged].sum()),
+                    disadvantaged_total=int(disadvantaged.sum()),
+                    test=g_test_counts(
+                        int(flagged[privileged].sum()),
+                        int(privileged.sum()),
+                        int(flagged[disadvantaged].sum()),
+                        int(disadvantaged.sum()),
+                        alpha=self.alpha,
+                    ),
+                )
+                if finding.significant or not only_significant:
+                    findings.append(finding)
+        return findings
+
+    def single_attribute(
+        self,
+        definition: DatasetDefinition,
+        table: Table,
+        only_significant: bool = False,
+    ) -> list[DisparityFinding]:
+        """Figure 1: disparities for single-attribute groups."""
+        masks = self._detector_masks(definition, table)
+        return self._findings_for_masks(
+            definition, table, masks, definition.group_specs, only_significant
+        )
+
+    def intersectional(
+        self,
+        definition: DatasetDefinition,
+        table: Table,
+        only_significant: bool = False,
+    ) -> list[DisparityFinding]:
+        """Figure 2: disparities for intersectional groups."""
+        masks = self._detector_masks(definition, table)
+        return self._findings_for_masks(
+            definition, table, masks, definition.intersectional_specs, only_significant
+        )
+
+    def label_error_breakdown(
+        self,
+        definition: DatasetDefinition,
+        table: Table,
+        spec: GroupSpec | IntersectionalSpec,
+    ) -> dict[str, float]:
+        """Section III drill-down: FP/FN shares of predicted label errors.
+
+        Returns, per group, the fraction of its flagged tuples that are
+        predicted false positives (given label 1, predicted true 0) and
+        predicted false negatives.
+        """
+        features = table.drop_columns([definition.label])
+        labels = table.column(definition.label).astype(np.int64)
+        complete = MissingValueRepair().fit_transform(features)
+        X = TabularFeaturizer(
+            feature_columns=definition.feature_columns(complete)
+        ).fit_transform(complete)
+        detector = ConfidentLearningDetector(random_state=self.random_state)
+        result = detector.detect(X, labels)
+        fp = result.predicted_false_positives(labels)
+        fn = result.predicted_false_negatives(labels)
+        out: dict[str, float] = {}
+        for name, mask in (
+            ("privileged", spec.privileged_mask(table)),
+            ("disadvantaged", spec.disadvantaged_mask(table)),
+        ):
+            flagged = int(result.row_mask[mask].sum())
+            out[f"{name}_fp_share"] = (
+                int(fp[mask].sum()) / flagged if flagged else float("nan")
+            )
+            out[f"{name}_fn_share"] = (
+                int(fn[mask].sum()) / flagged if flagged else float("nan")
+            )
+        return out

@@ -1,0 +1,314 @@
+"""Impact analysis: from run records to the paper's 3x3 matrices.
+
+A *configuration* is a (dataset, sensitive-group definition, fairness
+metric, model, error type, detection, repair) tuple. For each
+configuration we collect the paired score vectors of the dirty
+baseline and the cleaned variant over all runs, classify the impact on
+accuracy and on fairness with paired t-tests (Bonferroni-adjusted),
+and aggregate configurations into the fairness-impact × accuracy-impact
+contingency matrices of Tables II–XIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchmark.results import ResultStore, RunRecord
+from repro.fairness.metrics import FAIRNESS_METRICS, FairnessMetric
+from repro.ml.metrics import ConfusionMatrix
+from repro.stats.impact import Impact, classify_impact
+
+#: Number of simultaneous (detection, repair) hypotheses per error type,
+#: used as the Bonferroni divisor (CleanML's multiple-testing protocol).
+HYPOTHESES_PER_ERROR_TYPE = {
+    "missing_values": 6,
+    "outliers": 9,
+    "mislabels": 1,
+}
+
+_IMPACT_ORDER = (Impact.WORSE, Impact.INSIGNIFICANT, Impact.BETTER)
+
+
+def _group_fragments(group_key: str) -> tuple[str, str]:
+    """Result-store key fragments for a group spec key."""
+    if "_x_" in group_key:
+        first, second = group_key.split("_x_", 1)
+        return f"{first}_priv__{second}_priv", f"{first}_dis__{second}_dis"
+    return f"{group_key}_priv", f"{group_key}_dis"
+
+
+def _confusion_from_metrics(
+    metrics: dict, technique: str, fragment: str
+) -> ConfusionMatrix | None:
+    cells = {}
+    for cell in ("tn", "fp", "fn", "tp"):
+        key = f"{technique}__{fragment}__{cell}"
+        if key not in metrics:
+            return None
+        cells[cell] = int(metrics[key])
+    return ConfusionMatrix(**cells)
+
+
+def fairness_value(
+    record: RunRecord, technique: str, group_key: str, metric: FairnessMetric
+) -> float:
+    """Evaluate a fairness metric from a record's stored counts."""
+    priv_fragment, dis_fragment = _group_fragments(group_key)
+    privileged = _confusion_from_metrics(record.metrics, technique, priv_fragment)
+    disadvantaged = _confusion_from_metrics(record.metrics, technique, dis_fragment)
+    if privileged is None or disadvantaged is None:
+        return float("nan")
+    return metric(privileged, disadvantaged)
+
+
+@dataclass(frozen=True)
+class ConfigurationImpact:
+    """Classified impact of one configuration.
+
+    Attributes:
+        dataset, group_key, metric_name, model, error_type, detection,
+            repair: The configuration coordinates.
+        fairness_impact: Impact of cleaning on the fairness metric.
+        accuracy_impact: Impact of cleaning on test accuracy.
+        n_runs: Number of paired runs behind the classification.
+        mean_dirty_fairness / mean_clean_fairness: Mean |disparity|.
+        mean_dirty_accuracy / mean_clean_accuracy: Mean accuracies.
+    """
+
+    dataset: str
+    group_key: str
+    metric_name: str
+    model: str
+    error_type: str
+    detection: str
+    repair: str
+    fairness_impact: Impact
+    accuracy_impact: Impact
+    n_runs: int
+    mean_dirty_fairness: float
+    mean_clean_fairness: float
+    mean_dirty_accuracy: float
+    mean_clean_accuracy: float
+
+    @property
+    def intersectional(self) -> bool:
+        """Whether the group definition is intersectional."""
+        return "_x_" in self.group_key
+
+
+@dataclass
+class ImpactMatrix:
+    """A 3x3 fairness-impact × accuracy-impact contingency matrix."""
+
+    counts: dict[tuple[Impact, Impact], int] = field(
+        default_factory=lambda: {
+            (f, a): 0 for f in _IMPACT_ORDER for a in _IMPACT_ORDER
+        }
+    )
+
+    def add(self, fairness: Impact, accuracy: Impact) -> None:
+        """Count one configuration."""
+        self.counts[(fairness, accuracy)] += 1
+
+    @property
+    def total(self) -> int:
+        """Total configurations counted."""
+        return sum(self.counts.values())
+
+    def count(self, fairness: Impact, accuracy: Impact) -> int:
+        """Count in one cell."""
+        return self.counts[(fairness, accuracy)]
+
+    def fairness_marginal(self, fairness: Impact) -> int:
+        """Row total for a fairness impact."""
+        return sum(self.counts[(fairness, a)] for a in _IMPACT_ORDER)
+
+    def accuracy_marginal(self, accuracy: Impact) -> int:
+        """Column total for an accuracy impact."""
+        return sum(self.counts[(f, accuracy)] for f in _IMPACT_ORDER)
+
+    def fraction(self, fairness: Impact, accuracy: Impact) -> float:
+        """Cell share of the total (NaN when empty)."""
+        if self.total == 0:
+            return float("nan")
+        return self.counts[(fairness, accuracy)] / self.total
+
+
+class ImpactAnalysis:
+    """Classifies configurations and aggregates them into matrices."""
+
+    def __init__(self, store: ResultStore, alpha: float = 0.05) -> None:
+        self.store = store
+        self.alpha = alpha
+
+    def configuration_impacts(
+        self,
+        error_type: str,
+        metric_name: str,
+        intersectional: bool,
+        datasets: tuple[str, ...] | None = None,
+        models: tuple[str, ...] | None = None,
+    ) -> list[ConfigurationImpact]:
+        """Classify every configuration for one error type and metric.
+
+        Args:
+            error_type: The error type to analyse.
+            metric_name: Key into the fairness-metric registry
+                (``PP`` or ``EO``).
+            intersectional: Use intersectional group definitions
+                instead of single-attribute ones.
+            datasets / models: Optional filters.
+        """
+        metric = FAIRNESS_METRICS[metric_name]
+        n_hypotheses = HYPOTHESES_PER_ERROR_TYPE.get(error_type, 1)
+        impacts = []
+        for dataset, detection, repair, model in self._configurations(
+            error_type, datasets, models
+        ):
+            records = list(
+                self.store.records(
+                    dataset=dataset,
+                    error_type=error_type,
+                    detection=detection,
+                    repair=repair,
+                    model=model,
+                )
+            )
+            if not records:
+                continue
+            for group_key in self._group_keys(records[0], repair, intersectional):
+                impacts.append(
+                    self._classify(
+                        records,
+                        dataset,
+                        group_key,
+                        metric_name,
+                        metric,
+                        model,
+                        error_type,
+                        detection,
+                        repair,
+                        n_hypotheses,
+                    )
+                )
+        return impacts
+
+    def matrix(
+        self,
+        error_type: str,
+        metric_name: str,
+        intersectional: bool,
+        datasets: tuple[str, ...] | None = None,
+        models: tuple[str, ...] | None = None,
+    ) -> ImpactMatrix:
+        """The 3x3 contingency matrix over all configurations."""
+        matrix = ImpactMatrix()
+        for impact in self.configuration_impacts(
+            error_type, metric_name, intersectional, datasets, models
+        ):
+            matrix.add(impact.fairness_impact, impact.accuracy_impact)
+        return matrix
+
+    # -- internals ---------------------------------------------------------
+
+    def _configurations(
+        self,
+        error_type: str,
+        datasets: tuple[str, ...] | None,
+        models: tuple[str, ...] | None,
+    ):
+        seen = set()
+        for record in self.store.records(error_type=error_type):
+            if datasets is not None and record.dataset not in datasets:
+                continue
+            if models is not None and record.model not in models:
+                continue
+            key = (record.dataset, record.detection, record.repair, record.model)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+    @staticmethod
+    def _group_keys(
+        record: RunRecord, repair: str, intersectional: bool
+    ) -> list[str]:
+        """Recover the group keys present in a record's metric keys."""
+        keys = set()
+        prefix = f"{repair}__"
+        for metric_key in record.metrics:
+            if not metric_key.startswith(prefix) or not metric_key.endswith("__tp"):
+                continue
+            fragment = metric_key[len(prefix) : -len("__tp")]
+            parts = fragment.split("__")
+            if len(parts) == 2 and all(part.endswith("_priv") for part in parts):
+                if intersectional:
+                    keys.add(
+                        parts[0][: -len("_priv")] + "_x_" + parts[1][: -len("_priv")]
+                    )
+            elif len(parts) == 1 and parts[0].endswith("_priv"):
+                if not intersectional:
+                    keys.add(parts[0][: -len("_priv")])
+        return sorted(keys)
+
+    def _classify(
+        self,
+        records: list[RunRecord],
+        dataset: str,
+        group_key: str,
+        metric_name: str,
+        metric: FairnessMetric,
+        model: str,
+        error_type: str,
+        detection: str,
+        repair: str,
+        n_hypotheses: int,
+    ) -> ConfigurationImpact:
+        dirty_fairness = np.array(
+            [fairness_value(r, "dirty", group_key, metric) for r in records]
+        )
+        clean_fairness = np.array(
+            [fairness_value(r, repair, group_key, metric) for r in records]
+        )
+        dirty_accuracy = np.array(
+            [float(r.metrics["dirty_test_acc"]) for r in records]
+        )
+        clean_accuracy = np.array(
+            [float(r.metrics[f"{repair}_test_acc"]) for r in records]
+        )
+        fairness_impact = classify_impact(
+            dirty_fairness,
+            clean_fairness,
+            higher_is_better=False,
+            use_magnitude=True,
+            alpha=self.alpha,
+            n_hypotheses=n_hypotheses,
+        )
+        accuracy_impact = classify_impact(
+            dirty_accuracy,
+            clean_accuracy,
+            higher_is_better=True,
+            alpha=self.alpha,
+            n_hypotheses=n_hypotheses,
+        )
+        return ConfigurationImpact(
+            dataset=dataset,
+            group_key=group_key,
+            metric_name=metric_name,
+            model=model,
+            error_type=error_type,
+            detection=detection,
+            repair=repair,
+            fairness_impact=fairness_impact,
+            accuracy_impact=accuracy_impact,
+            n_runs=len(records),
+            mean_dirty_fairness=float(np.nanmean(np.abs(dirty_fairness)))
+            if not np.isnan(dirty_fairness).all()
+            else float("nan"),
+            mean_clean_fairness=float(np.nanmean(np.abs(clean_fairness)))
+            if not np.isnan(clean_fairness).all()
+            else float("nan"),
+            mean_dirty_accuracy=float(np.mean(dirty_accuracy)),
+            mean_clean_accuracy=float(np.mean(clean_accuracy)),
+        )

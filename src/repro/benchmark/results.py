@@ -1,0 +1,162 @@
+"""The resumable result store.
+
+Every run (one trained-and-evaluated model pair) is stored as a flat
+JSON-serialisable record under a deterministic key::
+
+    {dataset}/{error_type}/{repair}/{model}/rep{repetition}/seed{seed}
+
+The store can persist to a JSON file and *resume*: re-running a study
+skips every key already present. The key→value mapping is stable by
+construction — each record embeds its own configuration fields — which
+is precisely the reproducibility property whose violation the paper
+reported (and fixed) in the original CleanML codebase.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One evaluated model pair (dirty vs repaired) for one run.
+
+    Attributes:
+        dataset: Dataset name.
+        error_type: ``missing_values`` / ``outliers`` / ``mislabels``.
+        detection: Detection-strategy name.
+        repair: Repair-method name.
+        model: Model name.
+        repetition: Split index.
+        tuning_seed: Hyperparameter-search seed index.
+        metrics: Flat mapping of metric keys to values. Contains
+            ``dirty_test_acc``, ``{repair}_test_acc``, the matching
+            ``*_test_f1`` entries, ``best_params`` entries and the
+            group-wise confusion counts in CleanML key style for both
+            the dirty baseline (prefixed ``dirty``) and the repair.
+    """
+
+    dataset: str
+    error_type: str
+    detection: str
+    repair: str
+    model: str
+    repetition: int
+    tuning_seed: int
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """Deterministic store key for this record."""
+        return (
+            f"{self.dataset}/{self.error_type}/{self.detection}/{self.repair}"
+            f"/{self.model}/rep{self.repetition}/seed{self.tuning_seed}"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """Serialisable representation."""
+        return {
+            "dataset": self.dataset,
+            "error_type": self.error_type,
+            "detection": self.detection,
+            "repair": self.repair,
+            "model": self.model,
+            "repetition": self.repetition,
+            "tuning_seed": self.tuning_seed,
+            "metrics": self.metrics,
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_json`."""
+        return RunRecord(
+            dataset=payload["dataset"],
+            error_type=payload["error_type"],
+            detection=payload["detection"],
+            repair=payload["repair"],
+            model=payload["model"],
+            repetition=payload["repetition"],
+            tuning_seed=payload["tuning_seed"],
+            metrics=dict(payload["metrics"]),
+        )
+
+
+class ResultStore:
+    """In-memory result store with optional JSON persistence."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._records: dict[str, RunRecord] = {}
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self._path is not None
+        with self._path.open("r") as handle:
+            payload = json.load(handle)
+        for record_payload in payload["records"]:
+            record = RunRecord.from_json(record_payload)
+            self._records[record.key] = record
+
+    def save(self) -> None:
+        """Persist all records to the store's JSON path."""
+        if self._path is None:
+            raise RuntimeError("this ResultStore has no backing path")
+        payload = {
+            "records": [
+                record.to_json()
+                for __, record in sorted(self._records.items())
+            ]
+        }
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = self._path.with_suffix(".tmp")
+        with tmp_path.open("w") as handle:
+            json.dump(payload, handle, indent=1)
+        tmp_path.replace(self._path)
+
+    def add(self, record: RunRecord) -> None:
+        """Insert a record; duplicate keys are rejected."""
+        if record.key in self._records:
+            raise ValueError(f"duplicate record key {record.key!r}")
+        self._records[record.key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> RunRecord:
+        """Fetch a record by key."""
+        try:
+            return self._records[key]
+        except KeyError:
+            raise KeyError(f"no record {key!r}") from None
+
+    def records(self, **filters: Any) -> Iterator[RunRecord]:
+        """Iterate records matching the given field filters.
+
+        Example: ``store.records(dataset="german", error_type="outliers")``.
+        """
+        valid = {
+            "dataset",
+            "error_type",
+            "detection",
+            "repair",
+            "model",
+            "repetition",
+            "tuning_seed",
+        }
+        unknown = set(filters) - valid
+        if unknown:
+            raise ValueError(f"unknown filters: {sorted(unknown)}")
+        for __, record in sorted(self._records.items()):
+            if all(getattr(record, name) == value for name, value in filters.items()):
+                yield record
+
+    def distinct(self, fieldname: str) -> list[Any]:
+        """Sorted distinct values of a record field."""
+        return sorted({getattr(record, fieldname) for record in self._records.values()})

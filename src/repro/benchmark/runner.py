@@ -1,0 +1,416 @@
+"""The Fig-3 evaluation loop.
+
+For each experimental configuration (dataset / model / error type /
+detection / repair) the runner:
+
+1. samples records and splits them into train/test sets,
+2. keeps the raw data as the *dirty* version and applies the repair
+   strategy to produce a *repaired* version,
+3. trains one tuned classifier per version,
+4. predicts with the dirty model on the dirty test set and with the
+   repaired model on the equivalently repaired test set,
+5. scores both models on accuracy and records group-wise confusion
+   matrices for every (single-attribute and intersectional) group
+   definition under the CleanML key-naming scheme.
+
+Error-type specifics follow the paper's Section V exactly:
+
+- *missing_values* — the dirty baseline drops incomplete tuples from
+  the train set but imputes (mean/dummy) on the test set, since
+  tuples cannot be dropped at prediction time in production.
+- *outliers* — incomplete tuples are removed beforehand; the dirty
+  version retains outliers in train and test; detectors are fitted on
+  the train set and applied to both.
+- *mislabels* — incomplete tuples are removed beforehand; repair flips
+  the flagged labels in the train set only (test labels are never
+  flipped, to keep predictions comparable).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchmark.config import StudyConfig
+from repro.benchmark.models import model_search
+from repro.benchmark.results import ResultStore, RunRecord
+from repro.cleaning.detection import DetectionResult
+from repro.cleaning.mislabels import ConfidentLearningDetector
+from repro.cleaning.repair import (
+    CategoricalImputation,
+    LabelFlipRepair,
+    MissingValueRepair,
+    NumericImputation,
+)
+from repro.cleaning.strategies import (
+    missing_value_repairs,
+    outlier_detectors,
+    outlier_repairs,
+)
+from repro.datasets import DatasetDefinition, load_dataset
+from repro.fairness.confusion import group_confusion_matrices, result_store_keys
+from repro.ml import TabularFeaturizer
+from repro.ml.metrics import accuracy_score, f1_score
+from repro.tabular import Table, train_test_split_table
+
+ERROR_TYPES = ("missing_values", "outliers", "mislabels")
+
+
+def _seed_for(*parts: object) -> int:
+    """Deterministic 32-bit seed from heterogeneous parts."""
+    text = "|".join(str(part) for part in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+@dataclass
+class _Version:
+    """A (train, test) pair with labels, ready for model training."""
+
+    name: str
+    detection: str
+    train: Table
+    train_labels: np.ndarray
+    test: Table
+    test_labels: np.ndarray
+
+
+class ExperimentRunner:
+    """Executes study configurations and fills a result store."""
+
+    def __init__(self, config: StudyConfig, store: ResultStore) -> None:
+        self.config = config
+        self.store = store
+
+    # -- public API ------------------------------------------------------
+
+    def run_dataset_error(
+        self,
+        dataset_name: str,
+        error_type: str,
+        models: tuple[str, ...] | None = None,
+        progress=None,
+    ) -> int:
+        """Run all configurations for one dataset and error type.
+
+        Skips (resumes past) runs already present in the store.
+        Returns the number of new records added. ``progress`` is an
+        optional callable receiving human-readable status lines.
+        """
+        definition, table = load_dataset(
+            dataset_name,
+            n_rows=self.config.dataset_size(dataset_name),
+            seed=self.config.generation_seed,
+        )
+        return self.run_definition(
+            definition, error_type, table=table, models=models, progress=progress
+        )
+
+    def run_definition(
+        self,
+        definition: DatasetDefinition,
+        error_type: str,
+        table: Table | None = None,
+        models: tuple[str, ...] | None = None,
+        progress=None,
+    ) -> int:
+        """Run all configurations for a (possibly custom) definition.
+
+        ``table`` defaults to generating the definition at the
+        configured size. Returns the number of new records added.
+        """
+        if error_type not in ERROR_TYPES:
+            raise ValueError(
+                f"unknown error type {error_type!r}; valid: {ERROR_TYPES}"
+            )
+        if error_type not in definition.error_types:
+            return 0
+        if table is None:
+            table = definition.generate(
+                n_rows=self.config.dataset_size(definition.name),
+                seed=self.config.generation_seed,
+            )
+        models = models or self.config.models
+        added = 0
+        for repetition in range(self.config.n_repetitions):
+            versions = self._prepare_versions(
+                definition, table, error_type, repetition
+            )
+            if versions is None:
+                continue
+            dirty, repaired_versions = versions
+            for model_name in models:
+                for seed in range(self.config.n_tuning_seeds):
+                    added += self._evaluate_model(
+                        definition,
+                        error_type,
+                        dirty,
+                        repaired_versions,
+                        model_name,
+                        repetition,
+                        seed,
+                        progress,
+                    )
+        return added
+
+    def run_full_study(self, progress=None) -> int:
+        """Run every dataset × error type combination."""
+        from repro.datasets import DATASET_NAMES
+
+        added = 0
+        for dataset_name in DATASET_NAMES:
+            for error_type in ERROR_TYPES:
+                added += self.run_dataset_error(
+                    dataset_name, error_type, progress=progress
+                )
+        return added
+
+    # -- version preparation ----------------------------------------------
+
+    def _split(
+        self, definition: DatasetDefinition, table: Table, repetition: int
+    ) -> tuple[Table, np.ndarray, Table, np.ndarray]:
+        rng = np.random.default_rng(
+            _seed_for("split", definition.name, repetition, self.config.generation_seed)
+        )
+        n = min(self.config.n_sample, table.n_rows)
+        sample = table.sample_rows(n, rng)
+        train, test = train_test_split_table(sample, self.config.test_fraction, rng)
+        train_labels = train.column(definition.label).astype(np.int64)
+        test_labels = test.column(definition.label).astype(np.int64)
+        return (
+            train.drop_columns([definition.label]),
+            train_labels,
+            test.drop_columns([definition.label]),
+            test_labels,
+        )
+
+    def _prepare_versions(
+        self,
+        definition: DatasetDefinition,
+        table: Table,
+        error_type: str,
+        repetition: int,
+    ) -> tuple[_Version, list[_Version]] | None:
+        train, train_labels, test, test_labels = self._split(
+            definition, table, repetition
+        )
+        if error_type == "missing_values":
+            return self._missing_value_versions(
+                train, train_labels, test, test_labels
+            )
+        # outliers and mislabels require complete tuples beforehand
+        train_keep = ~train.missing_mask()
+        test_keep = ~test.missing_mask()
+        train = train.mask_rows(train_keep)
+        train_labels = train_labels[train_keep]
+        test = test.mask_rows(test_keep)
+        test_labels = test_labels[test_keep]
+        if len(np.unique(train_labels)) < 2 or train.n_rows < 30:
+            return None
+        if error_type == "outliers":
+            return self._outlier_versions(train, train_labels, test, test_labels)
+        return self._mislabel_versions(
+            definition, train, train_labels, test, test_labels, repetition
+        )
+
+    def _missing_value_versions(
+        self,
+        train: Table,
+        train_labels: np.ndarray,
+        test: Table,
+        test_labels: np.ndarray,
+    ) -> tuple[_Version, list[_Version]] | None:
+        complete = ~train.missing_mask()
+        dirty_train = train.mask_rows(complete)
+        dirty_train_labels = train_labels[complete]
+        if len(np.unique(dirty_train_labels)) < 2 or dirty_train.n_rows < 30:
+            return None
+        # production cannot drop incomplete tuples at prediction time:
+        # the dirty baseline imputes mean/dummy on the test set
+        baseline_imputer = MissingValueRepair(
+            numeric=NumericImputation.MEAN,
+            categorical=CategoricalImputation.DUMMY,
+        ).fit(dirty_train)
+        dirty = _Version(
+            name="dirty",
+            detection="missing_values",
+            train=dirty_train,
+            train_labels=dirty_train_labels,
+            test=baseline_imputer.transform(test),
+            test_labels=test_labels,
+        )
+        repaired = []
+        for name, repair in missing_value_repairs().items():
+            repair.fit(train)
+            repaired.append(
+                _Version(
+                    name=name,
+                    detection="missing_values",
+                    train=repair.transform(train),
+                    train_labels=train_labels,
+                    test=repair.transform(test),
+                    test_labels=test_labels,
+                )
+            )
+        return dirty, repaired
+
+    def _outlier_versions(
+        self,
+        train: Table,
+        train_labels: np.ndarray,
+        test: Table,
+        test_labels: np.ndarray,
+    ) -> tuple[_Version, list[_Version]]:
+        dirty = _Version(
+            name="dirty",
+            detection="none",
+            train=train,
+            train_labels=train_labels,
+            test=test,
+            test_labels=test_labels,
+        )
+        repaired = []
+        for detector_name, detector in outlier_detectors(
+            random_state=_seed_for("if", train.n_rows)
+        ).items():
+            detector.fit(train)
+            train_detection = detector.apply(train)
+            test_detection = detector.apply(test)
+            for repair_name, repair in outlier_repairs().items():
+                repair.fit(train, train_detection)
+                repaired.append(
+                    _Version(
+                        name=repair_name,
+                        detection=detector_name,
+                        train=repair.transform(train, train_detection),
+                        train_labels=train_labels,
+                        test=repair.transform(test, test_detection),
+                        test_labels=test_labels,
+                    )
+                )
+        return dirty, repaired
+
+    def _mislabel_versions(
+        self,
+        definition: DatasetDefinition,
+        train: Table,
+        train_labels: np.ndarray,
+        test: Table,
+        test_labels: np.ndarray,
+        repetition: int,
+    ) -> tuple[_Version, list[_Version]]:
+        dirty = _Version(
+            name="dirty",
+            detection="cleanlab",
+            train=train,
+            train_labels=train_labels,
+            test=test,
+            test_labels=test_labels,
+        )
+        featurizer = TabularFeaturizer(
+            feature_columns=definition.feature_columns(train)
+        ).fit(train)
+        detector = ConfidentLearningDetector(
+            random_state=_seed_for("cl", definition.name, repetition)
+        )
+        detection = detector.detect(featurizer.transform(train), train_labels)
+        flipped = LabelFlipRepair().repair(train_labels, detection.row_mask)
+        repaired = _Version(
+            name="flip_labels",
+            detection="cleanlab",
+            train=train,
+            train_labels=flipped,
+            test=test,
+            test_labels=test_labels,
+        )
+        return dirty, [repaired]
+
+    # -- model evaluation ---------------------------------------------------
+
+    def _score_version(
+        self,
+        definition: DatasetDefinition,
+        version: _Version,
+        model_name: str,
+        tuning_seed: int,
+        technique: str,
+    ) -> dict[str, object]:
+        featurizer = TabularFeaturizer(
+            feature_columns=definition.feature_columns(version.train)
+        ).fit(version.train)
+        X_train = featurizer.transform(version.train)
+        X_test = featurizer.transform(version.test)
+        search = model_search(
+            model_name,
+            n_cv_folds=self.config.n_cv_folds,
+            tuning_seed=_seed_for("tune", model_name, tuning_seed),
+        )
+        search.fit(X_train, version.train_labels)
+        predictions = search.predict(X_test)
+        metrics: dict[str, object] = {
+            f"{technique}_best_params": search.best_params_,
+            f"{technique}_val_acc": search.best_score_,
+            f"{technique}_test_acc": accuracy_score(version.test_labels, predictions),
+            f"{technique}_test_f1": f1_score(version.test_labels, predictions),
+        }
+        specs = list(definition.group_specs) + list(definition.intersectional_specs)
+        for spec in specs:
+            group = group_confusion_matrices(
+                version.test, version.test_labels, predictions, spec
+            )
+            metrics.update(result_store_keys(technique, group))
+        return metrics
+
+    def _evaluate_model(
+        self,
+        definition: DatasetDefinition,
+        error_type: str,
+        dirty: _Version,
+        repaired_versions: list[_Version],
+        model_name: str,
+        repetition: int,
+        seed: int,
+        progress,
+    ) -> int:
+        pending = [
+            version
+            for version in repaired_versions
+            if RunRecord(
+                dataset=definition.name,
+                error_type=error_type,
+                detection=version.detection,
+                repair=version.name,
+                model=model_name,
+                repetition=repetition,
+                tuning_seed=seed,
+            ).key
+            not in self.store
+        ]
+        if not pending:
+            return 0
+        dirty_metrics = self._score_version(
+            definition, dirty, model_name, seed, "dirty"
+        )
+        added = 0
+        for version in pending:
+            metrics = dict(dirty_metrics)
+            metrics.update(
+                self._score_version(definition, version, model_name, seed, version.name)
+            )
+            record = RunRecord(
+                dataset=definition.name,
+                error_type=error_type,
+                detection=version.detection,
+                repair=version.name,
+                model=model_name,
+                repetition=repetition,
+                tuning_seed=seed,
+                metrics=metrics,
+            )
+            self.store.add(record)
+            added += 1
+            if progress is not None:
+                progress(f"{record.key}: done")
+        return added

@@ -1,0 +1,121 @@
+"""Fairness-aware cleaning-method selection (the paper's §VII vision).
+
+The paper's closing argument: since almost every case admits at least
+one cleaning technique that does not worsen fairness, a *principled
+selection methodology* can mitigate the damage of automated cleaning.
+:class:`FairnessAwareSelector` implements that methodology on top of
+the impact analysis: for a given case it recommends the cleaning
+configuration with the best fairness outcome, tie-broken by accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmark.impact import ConfigurationImpact
+from repro.stats.impact import Impact
+
+_FAIRNESS_RANK = {Impact.BETTER: 0, Impact.INSIGNIFICANT: 1, Impact.WORSE: 2}
+_ACCURACY_RANK = {Impact.BETTER: 0, Impact.INSIGNIFICANT: 1, Impact.WORSE: 2}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A selected cleaning configuration for one case."""
+
+    dataset: str
+    group_key: str
+    metric_name: str
+    error_type: str
+    detection: str
+    repair: str
+    model: str
+    fairness_impact: Impact
+    accuracy_impact: Impact
+
+    @property
+    def safe(self) -> bool:
+        """True when the recommendation does not worsen fairness."""
+        return self.fairness_impact is not Impact.WORSE
+
+
+class FairnessAwareSelector:
+    """Selects cleaning techniques that do not hurt fairness."""
+
+    def __init__(self, impacts: list[ConfigurationImpact]) -> None:
+        self.impacts = impacts
+
+    def recommend(
+        self,
+        dataset: str,
+        group_key: str,
+        metric_name: str,
+        error_type: str,
+        model: str | None = None,
+    ) -> Recommendation | None:
+        """Best (fairness-first) configuration for one case, or None.
+
+        Candidates are ranked by fairness impact (better >
+        insignificant > worse), then accuracy impact, then mean clean
+        accuracy. Returns None when the case has no evaluated
+        configurations.
+        """
+        candidates = [
+            impact
+            for impact in self.impacts
+            if impact.dataset == dataset
+            and impact.group_key == group_key
+            and impact.metric_name == metric_name
+            and impact.error_type == error_type
+            and (model is None or impact.model == model)
+        ]
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda impact: (
+                _FAIRNESS_RANK[impact.fairness_impact],
+                _ACCURACY_RANK[impact.accuracy_impact],
+                -impact.mean_clean_accuracy,
+            ),
+        )
+        return Recommendation(
+            dataset=best.dataset,
+            group_key=best.group_key,
+            metric_name=best.metric_name,
+            error_type=best.error_type,
+            detection=best.detection,
+            repair=best.repair,
+            model=best.model,
+            fairness_impact=best.fairness_impact,
+            accuracy_impact=best.accuracy_impact,
+        )
+
+    def recommend_all(self) -> list[Recommendation]:
+        """Recommendations for every case present in the impacts."""
+        cases = sorted(
+            {
+                (
+                    impact.dataset,
+                    impact.group_key,
+                    impact.metric_name,
+                    impact.error_type,
+                )
+                for impact in self.impacts
+            }
+        )
+        out = []
+        for dataset, group_key, metric_name, error_type in cases:
+            recommendation = self.recommend(
+                dataset, group_key, metric_name, error_type
+            )
+            if recommendation is not None:
+                out.append(recommendation)
+        return out
+
+    def safety_rate(self) -> float:
+        """Share of cases where the selector avoids worsening fairness."""
+        recommendations = self.recommend_all()
+        if not recommendations:
+            return float("nan")
+        return sum(r.safe for r in recommendations) / len(recommendations)

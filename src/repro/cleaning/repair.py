@@ -1,0 +1,203 @@
+"""Automated repair methods.
+
+Repairs mirror the paper's setup: missing values are imputed with
+column statistics (mean/median/mode for numeric, mode or a constant
+"dummy" for categorical); outlier cells are replaced by a statistic of
+the *non-flagged* values of their column; predicted label errors are
+repaired by flipping the label.
+
+Imputation statistics are always *fitted* on a training table and then
+applied to both train and test tables, so no test-set information
+leaks into the repair.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.cleaning.detection import DetectionResult
+from repro.tabular import Table
+
+DUMMY_VALUE = "__missing__"
+
+
+class NumericImputation(enum.Enum):
+    """Statistic used to impute numeric columns."""
+
+    MEAN = "mean"
+    MEDIAN = "median"
+    MODE = "mode"
+
+
+class CategoricalImputation(enum.Enum):
+    """Strategy used to impute categorical columns."""
+
+    MODE = "mode"
+    DUMMY = "dummy"
+
+
+def _numeric_statistic(values: np.ndarray, strategy: NumericImputation) -> float:
+    """Compute the fill statistic over non-NaN values (0.0 if all missing)."""
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        return 0.0
+    if strategy is NumericImputation.MEAN:
+        return float(finite.mean())
+    if strategy is NumericImputation.MEDIAN:
+        return float(np.median(finite))
+    uniques, counts = np.unique(finite, return_counts=True)
+    return float(uniques[np.argmax(counts)])
+
+
+def _categorical_mode(values: np.ndarray) -> str:
+    """Most frequent non-missing category (DUMMY_VALUE if all missing)."""
+    counts: dict[str, int] = {}
+    for value in values:
+        if value is not None:
+            counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        return DUMMY_VALUE
+    return max(sorted(counts), key=lambda key: counts[key])
+
+
+class MissingValueRepair:
+    """Impute missing values with statistics fitted on a training table.
+
+    Args:
+        numeric: Imputation statistic for numeric columns.
+        categorical: Imputation strategy for categorical columns.
+    """
+
+    def __init__(
+        self,
+        numeric: NumericImputation = NumericImputation.MEAN,
+        categorical: CategoricalImputation = CategoricalImputation.DUMMY,
+    ) -> None:
+        self.numeric = numeric
+        self.categorical = categorical
+        self._numeric_fill: dict[str, float] | None = None
+        self._categorical_fill: dict[str, str] | None = None
+
+    @property
+    def name(self) -> str:
+        """CleanML-style repair-method name, e.g. ``impute_mean_dummy``."""
+        return f"impute_{self.numeric.value}_{self.categorical.value}"
+
+    def fit(self, table: Table) -> "MissingValueRepair":
+        """Learn fill values from ``table``."""
+        self._numeric_fill = {
+            name: _numeric_statistic(table.column(name), self.numeric)
+            for name in table.schema.numeric_names()
+        }
+        if self.categorical is CategoricalImputation.DUMMY:
+            self._categorical_fill = {
+                name: DUMMY_VALUE for name in table.schema.categorical_names()
+            }
+        else:
+            self._categorical_fill = {
+                name: _categorical_mode(table.column(name))
+                for name in table.schema.categorical_names()
+            }
+        return self
+
+    def transform(self, table: Table) -> Table:
+        """Return a copy of ``table`` with missing values imputed."""
+        if self._numeric_fill is None or self._categorical_fill is None:
+            raise RuntimeError("MissingValueRepair is not fitted")
+        result = table
+        for name, fill in self._numeric_fill.items():
+            if name not in table.schema:
+                continue
+            values = table.column(name)
+            mask = np.isnan(values)
+            if mask.any():
+                values[mask] = fill
+                result = result.with_numeric_column(name, values)
+        for name, fill in self._categorical_fill.items():
+            if name not in table.schema:
+                continue
+            values = result.column(name)
+            changed = False
+            for i, value in enumerate(values):
+                if value is None:
+                    values[i] = fill
+                    changed = True
+            if changed:
+                result = result.with_categorical_column(name, values)
+        return result
+
+    def fit_transform(self, table: Table) -> Table:
+        return self.fit(table).transform(table)
+
+
+class OutlierRepair:
+    """Replace flagged outlier cells with a statistic of the clean cells.
+
+    The statistic for each column is fitted from the training table's
+    *non-flagged* values, then applied to flagged cells of any table.
+    """
+
+    def __init__(self, statistic: NumericImputation = NumericImputation.MEAN) -> None:
+        self.statistic = statistic
+        self._fill: dict[str, float] | None = None
+
+    @property
+    def name(self) -> str:
+        """CleanML-style repair-method name, e.g. ``repair_outliers_mean``."""
+        return f"repair_outliers_{self.statistic.value}"
+
+    def fit(self, table: Table, detection: DetectionResult) -> "OutlierRepair":
+        """Learn replacement statistics from the non-flagged cells."""
+        self._fill = {}
+        for name in table.schema.numeric_names():
+            values = table.column(name)
+            flagged = detection.cell_masks.get(
+                name, np.zeros(table.n_rows, dtype=bool)
+            )
+            clean = values[~flagged]
+            self._fill[name] = _numeric_statistic(clean, self.statistic)
+        return self
+
+    def transform(self, table: Table, detection: DetectionResult) -> Table:
+        """Return a copy of ``table`` with flagged cells replaced."""
+        if self._fill is None:
+            raise RuntimeError("OutlierRepair is not fitted")
+        if detection.row_mask.shape != (table.n_rows,):
+            raise ValueError(
+                f"detection covers {detection.row_mask.shape[0]} rows, "
+                f"table has {table.n_rows}"
+            )
+        result = table
+        for name, fill in self._fill.items():
+            if name not in table.schema:
+                continue
+            flagged = detection.cell_masks.get(name)
+            if flagged is None or not flagged.any():
+                continue
+            values = result.column(name)
+            values[flagged] = fill
+            result = result.with_numeric_column(name, values)
+        return result
+
+    def fit_transform(self, table: Table, detection: DetectionResult) -> Table:
+        return self.fit(table, detection).transform(table, detection)
+
+
+class LabelFlipRepair:
+    """Flip the 0/1 labels of flagged examples (training data only)."""
+
+    name = "flip_labels"
+
+    def repair(self, labels: np.ndarray, row_mask: np.ndarray) -> np.ndarray:
+        """Return a copy of ``labels`` with flagged entries flipped."""
+        labels = np.asarray(labels).astype(np.int64)
+        row_mask = np.asarray(row_mask, dtype=bool)
+        if labels.shape != row_mask.shape:
+            raise ValueError(
+                f"shape mismatch: labels {labels.shape} vs mask {row_mask.shape}"
+            )
+        repaired = labels.copy()
+        repaired[row_mask] = 1 - repaired[row_mask]
+        return repaired

@@ -1,0 +1,142 @@
+"""Synthetic stand-in for the UCI adult census dataset.
+
+Schema and error structure mirror the real data: ``workclass``,
+``occupation`` and ``native_country`` contain missing values (the '?'
+entries of the original), with higher missingness for non-white and
+female respondents; ``capital_gain`` is zero-inflated with a heavy
+tail and a 99999 sentinel spike; ``fnlwgt`` is heavy-tailed; labels
+(income > 50K, ~24% positive) carry group-dependent noise that is
+*higher for the privileged group*, matching the paper's observation
+that predicted label errors skew privileged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import synthetic as syn
+from repro.tabular import Table
+
+EDUCATION_LEVELS = [
+    ("hs_dropout", 6.0),
+    ("hs_grad", 9.0),
+    ("some_college", 10.0),
+    ("assoc", 12.0),
+    ("bachelors", 13.0),
+    ("masters", 14.0),
+    ("doctorate", 16.0),
+]
+
+WORKCLASSES = ["private", "self_emp", "gov", "unemployed"]
+OCCUPATIONS = [
+    "craft_repair",
+    "exec_managerial",
+    "prof_specialty",
+    "sales",
+    "service",
+    "clerical",
+    "transport",
+]
+MARITAL = ["married", "never_married", "divorced", "widowed"]
+RELATIONSHIPS = ["husband", "wife", "own_child", "unmarried", "not_in_family"]
+COUNTRIES = ["united_states", "mexico", "philippines", "germany", "canada"]
+
+
+def generate(n_rows: int, seed: int = 0) -> Table:
+    """Generate the synthetic adult table with its income label."""
+    rng = np.random.default_rng(seed)
+
+    sex = syn.categorical(rng, n_rows, ["male", "female"], [0.67, 0.33])
+    race = syn.categorical(
+        rng,
+        n_rows,
+        ["white", "black", "asian_pac_islander", "amer_indian", "other"],
+        [0.855, 0.096, 0.031, 0.01, 0.008],
+    )
+    is_male = np.array([value == "male" for value in sex])
+    is_white = np.array([value == "white" for value in race])
+
+    age = syn.clipped_normal(rng, n_rows, 38.5, 13.5, 17, 90).round()
+
+    education_idx = np.clip(
+        rng.normal(2.2 + 0.25 * is_white, 1.4, size=n_rows).round().astype(int),
+        0,
+        len(EDUCATION_LEVELS) - 1,
+    )
+    education = np.empty(n_rows, dtype=object)
+    education_num = np.empty(n_rows, dtype=np.float64)
+    for i, idx in enumerate(education_idx):
+        education[i] = EDUCATION_LEVELS[idx][0]
+        education_num[i] = EDUCATION_LEVELS[idx][1]
+
+    workclass = syn.categorical(rng, n_rows, WORKCLASSES, [0.69, 0.11, 0.13, 0.07])
+    occupation = syn.categorical(
+        rng, n_rows, OCCUPATIONS, [0.15, 0.14, 0.14, 0.12, 0.2, 0.13, 0.12]
+    )
+    marital = syn.categorical(rng, n_rows, MARITAL, [0.47, 0.33, 0.16, 0.04])
+    relationship = syn.categorical(
+        rng, n_rows, RELATIONSHIPS, [0.3, 0.1, 0.2, 0.15, 0.25]
+    )
+    country = syn.categorical(
+        rng, n_rows, COUNTRIES, [0.895, 0.05, 0.025, 0.015, 0.015]
+    )
+
+    fnlwgt = syn.lognormal(rng, n_rows, 12.0, 0.5)
+    hours = syn.clipped_normal(rng, n_rows, 40.5, 11.5, 1, 99).round()
+    capital_gain = syn.zero_inflated_lognormal(rng, n_rows, 0.92, 8.2, 1.1)
+    capital_gain = syn.sentinel_spike(rng, capital_gain, 99999.0, 0.005)
+    capital_loss = syn.zero_inflated_lognormal(rng, n_rows, 0.95, 7.4, 0.5)
+
+    married = np.array([value == "married" for value in marital])
+    latent = (
+        -15.3
+        + 0.96 * education_num
+        + 0.084 * (age - 38)
+        + 0.072 * (hours - 40)
+        + 2.7 * married
+        + 1.65 * is_male
+        + 0.75 * is_white
+        + 0.0012 * np.minimum(capital_gain, 20000)
+    )
+    income = (rng.random(n_rows) < syn.sigmoid(latent)).astype(np.int64)
+
+    # group-dependent label noise, higher for the privileged group
+    noise = syn.group_dependent_probability(0.04, 2.0, is_male & is_white)
+    income = syn.flip_labels(rng, income, noise)
+
+    # missingness skewed toward disadvantaged groups (the real adult's
+    # '?' entries concentrate in workclass/occupation/native_country)
+    occupation_missing = syn.group_dependent_probability(0.05, 2.6, ~is_white)
+    occupation_missing[~is_male] = np.maximum(
+        occupation_missing[~is_male], 0.09
+    )
+    workclass_missing = syn.group_dependent_probability(0.05, 2.2, ~is_white)
+    country_missing = syn.group_dependent_probability(0.02, 2.5, ~is_white)
+    # missing-not-at-random: occupation/workclass go unrecorded more
+    # often for low-income respondents (informative missingness)
+    low_income = income == 0
+    occupation_missing *= 1.0 + 0.9 * low_income
+    workclass_missing *= 1.0 + 0.9 * low_income
+    occupation = syn.inject_missing_categorical(rng, occupation, occupation_missing)
+    workclass = syn.inject_missing_categorical(rng, workclass, workclass_missing)
+    country = syn.inject_missing_categorical(rng, country, country_missing)
+
+    return Table.from_columns(
+        {
+            "age": age,
+            "workclass": workclass,
+            "fnlwgt": fnlwgt,
+            "education": education,
+            "education_num": education_num,
+            "marital_status": marital,
+            "occupation": occupation,
+            "relationship": relationship,
+            "race": race,
+            "sex": sex,
+            "capital_gain": capital_gain,
+            "capital_loss": capital_loss,
+            "hours_per_week": hours,
+            "native_country": country,
+            "income": income.astype(np.float64),
+        }
+    )

@@ -1,0 +1,86 @@
+"""Synthetic stand-in for the GiveMeSomeCredit dataset.
+
+Reproduces the well-documented pathologies of the real data:
+``monthly_income`` is missing for ~20% of applicants (skewed *young*,
+i.e. toward the disadvantaged group under the age>30 privilege rule),
+``number_of_dependents`` has mild missingness, the past-due counters
+carry 96/98 sentinel codes, ``revolving_utilization`` has absurd
+outliers (values in the thousands where [0,1] is expected), and
+``debt_ratio`` is heavy-tailed. The label is *good credit standing*
+(the complement of the original SeriousDlqin2yrs), so the positive
+class is the desirable outcome as the paper requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import synthetic as syn
+from repro.tabular import Table
+
+
+def generate(n_rows: int, seed: int = 0) -> Table:
+    """Generate the synthetic credit table with its good-credit label."""
+    rng = np.random.default_rng(seed)
+
+    age = syn.clipped_normal(rng, n_rows, 52.0, 14.5, 21, 100).round()
+    is_young = age <= 30  # disadvantaged group under the age>30 rule
+
+    monthly_income = syn.lognormal(rng, n_rows, 8.7, 0.6)
+    monthly_income[is_young] *= 0.75
+
+    revolving_utilization = np.clip(rng.beta(1.2, 4.0, size=n_rows), 0, 1)
+    # data-entry errors: a small fraction of utilizations in the thousands
+    bad_entry = rng.random(n_rows) < 0.003
+    revolving_utilization[bad_entry] = rng.uniform(10, 50000, size=bad_entry.sum())
+
+    debt_ratio = syn.lognormal(rng, n_rows, -1.2, 1.1)
+    open_credit_lines = np.clip(rng.poisson(8.5, size=n_rows), 0, 58).astype(float)
+    real_estate_loans = np.clip(rng.poisson(1.0, size=n_rows), 0, 54).astype(float)
+    dependents = np.clip(rng.poisson(0.8, size=n_rows), 0, 20).astype(float)
+
+    late_rate = 0.18 + 0.15 * is_young + 0.9 * np.minimum(revolving_utilization, 1.0)
+    past_due_30 = rng.poisson(late_rate).astype(float)
+    past_due_60 = rng.poisson(late_rate * 0.35).astype(float)
+    past_due_90 = rng.poisson(late_rate * 0.3).astype(float)
+    # the infamous 96/98 sentinel codes of the real data
+    past_due_30 = syn.sentinel_spike(rng, past_due_30, 98.0, 0.0018)
+    past_due_60 = syn.sentinel_spike(rng, past_due_60, 98.0, 0.0018)
+    past_due_90 = syn.sentinel_spike(rng, past_due_90, 96.0, 0.0018)
+
+    utilization_capped = np.minimum(revolving_utilization, 1.5)
+    latent = (
+        4.4
+        - 4.2 * utilization_capped
+        - 1.8 * np.minimum(past_due_30, 10)
+        - 2.6 * np.minimum(past_due_90, 10)
+        - 0.6 * np.minimum(debt_ratio, 5)
+        + 0.03 * (age - 50)
+        + 0.3 * np.log1p(monthly_income / 1000.0)
+    )
+    good_credit = (rng.random(n_rows) < syn.sigmoid(latent)).astype(np.int64)
+    noise = syn.group_dependent_probability(0.03, 1.8, ~is_young)
+    good_credit = syn.flip_labels(rng, good_credit, noise)
+
+    income_missing = syn.group_dependent_probability(0.15, 1.8, is_young)
+    # informative missingness: applicants in bad standing more often
+    # have no verifiable income on file
+    income_missing *= 1.0 + 0.8 * (good_credit == 0)
+    monthly_income = syn.inject_missing_numeric(rng, monthly_income, income_missing)
+    dependents = syn.inject_missing_numeric(rng, dependents, 0.026)
+
+    return Table.from_columns(
+        {
+            "revolving_utilization": revolving_utilization,
+            "age": age,
+            "past_due_30_59": past_due_30,
+            "debt_ratio": debt_ratio,
+            "monthly_income": monthly_income,
+            "open_credit_lines": open_credit_lines,
+            "past_due_90": past_due_90,
+            "real_estate_loans": real_estate_loans,
+            "past_due_60_89": past_due_60,
+            "dependents": dependents,
+            "good_credit": good_credit.astype(np.float64),
+        }
+    )

@@ -1,0 +1,144 @@
+"""Shared building blocks for the synthetic dataset generators.
+
+The generators bake data-quality issues into the data-generating
+process itself:
+
+- *Missingness* is missing-at-random conditioned on group membership
+  and covariates (e.g. occupation more often unrecorded for
+  disadvantaged groups), or *structural* (a genuine N/A, e.g.
+  occupation for children in the folk data).
+- *Outliers* arise from heavy-tailed distributions and simulated
+  data-entry errors (unit confusion, sentinel codes) — the mechanisms
+  documented for the real datasets.
+- *Label noise* is feature- and group-dependent flipping of an
+  otherwise consistent latent decision function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def categorical(
+    rng: np.random.Generator,
+    n: int,
+    categories: list[str],
+    probabilities: list[float] | np.ndarray,
+) -> np.ndarray:
+    """Sample an object array of categories with the given probabilities."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    probabilities = probabilities / probabilities.sum()
+    draws = rng.choice(len(categories), size=n, p=probabilities)
+    out = np.empty(n, dtype=object)
+    for i, draw in enumerate(draws):
+        out[i] = categories[draw]
+    return out
+
+
+def clipped_normal(
+    rng: np.random.Generator,
+    n: int,
+    mean: float,
+    std: float,
+    low: float,
+    high: float,
+) -> np.ndarray:
+    """Normal draws clipped into [low, high]."""
+    return np.clip(rng.normal(mean, std, size=n), low, high)
+
+
+def lognormal(
+    rng: np.random.Generator, n: int, mean: float, sigma: float
+) -> np.ndarray:
+    """Heavy-tailed positive draws."""
+    return rng.lognormal(mean, sigma, size=n)
+
+
+def zero_inflated_lognormal(
+    rng: np.random.Generator,
+    n: int,
+    zero_fraction: float,
+    mean: float,
+    sigma: float,
+) -> np.ndarray:
+    """Mostly-zero positive amounts with a heavy tail (capital gains)."""
+    values = rng.lognormal(mean, sigma, size=n)
+    zeros = rng.random(n) < zero_fraction
+    values[zeros] = 0.0
+    return values
+
+
+def inject_missing_numeric(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    probability: np.ndarray | float,
+) -> np.ndarray:
+    """Return a copy with entries set to NaN with per-row probability."""
+    values = np.asarray(values, dtype=np.float64).copy()
+    mask = rng.random(len(values)) < probability
+    values[mask] = np.nan
+    return values
+
+
+def inject_missing_categorical(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    probability: np.ndarray | float,
+) -> np.ndarray:
+    """Return a copy with entries set to None with per-row probability."""
+    out = np.empty(len(values), dtype=object)
+    mask = rng.random(len(values)) < probability
+    for i, value in enumerate(values):
+        out[i] = None if mask[i] else value
+    return out
+
+
+def flip_labels(
+    rng: np.random.Generator,
+    labels: np.ndarray,
+    probability: np.ndarray | float,
+) -> np.ndarray:
+    """Return a copy with labels flipped with per-row probability."""
+    labels = np.asarray(labels).astype(np.int64).copy()
+    mask = rng.random(len(labels)) < probability
+    labels[mask] = 1 - labels[mask]
+    return labels
+
+
+def sentinel_spike(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    sentinel: float,
+    probability: float,
+) -> np.ndarray:
+    """Replace a small fraction of entries with a sentinel code.
+
+    Models the data-entry pathologies of the real datasets (e.g. the
+    99999 capital-gain spike in adult, the 96/98 past-due codes in the
+    credit data).
+    """
+    values = np.asarray(values, dtype=np.float64).copy()
+    mask = rng.random(len(values)) < probability
+    values[mask] = sentinel
+    return values
+
+
+def group_dependent_probability(
+    base: float,
+    multiplier: float,
+    in_group: np.ndarray,
+) -> np.ndarray:
+    """Per-row probability: ``base`` outside the group, scaled inside."""
+    probability = np.full(len(in_group), base, dtype=np.float64)
+    probability[in_group] = base * multiplier
+    return np.clip(probability, 0.0, 1.0)

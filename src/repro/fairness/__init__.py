@@ -1,0 +1,46 @@
+"""Group fairness: protected-group definitions and fairness metrics.
+
+Groups are defined by binary predicates over sensitive attributes
+(Listing 1 in the paper); intersectional groups combine two predicates
+and deliberately do *not* partition the data (tuples privileged along
+one axis and disadvantaged along the other are excluded, as in the
+paper's Section II).
+"""
+
+from repro.fairness.groups import (
+    GroupPredicate,
+    GroupSpec,
+    IntersectionalSpec,
+    Comparison,
+)
+from repro.fairness.confusion import (
+    GroupConfusion,
+    group_confusion_matrices,
+    result_store_keys,
+)
+from repro.fairness.metrics import (
+    FAIRNESS_METRICS,
+    accuracy_parity,
+    demographic_parity,
+    equal_opportunity,
+    equalized_odds,
+    false_positive_rate_parity,
+    predictive_parity,
+)
+
+__all__ = [
+    "GroupPredicate",
+    "GroupSpec",
+    "IntersectionalSpec",
+    "Comparison",
+    "GroupConfusion",
+    "group_confusion_matrices",
+    "result_store_keys",
+    "predictive_parity",
+    "equal_opportunity",
+    "demographic_parity",
+    "equalized_odds",
+    "false_positive_rate_parity",
+    "accuracy_parity",
+    "FAIRNESS_METRICS",
+]

@@ -1,0 +1,87 @@
+"""Group-wise confusion matrices with CleanML-style key naming.
+
+The benchmark records, per cleaning technique, the raw confusion
+matrix counts for the privileged and disadvantaged groups. Keys follow
+the paper's convention, e.g.::
+
+    impute_mean_dummy__sex_priv__tp
+    impute_mean_dummy__sex_priv__age_priv__fp   (intersectional)
+
+Computing raw counts (rather than final metrics) keeps the result
+store metric-agnostic, as the paper's Section IV motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fairness.groups import GroupSpec, IntersectionalSpec
+from repro.ml.metrics import ConfusionMatrix, confusion_matrix
+from repro.tabular import Table
+
+
+@dataclass(frozen=True)
+class GroupConfusion:
+    """Confusion matrices for a privileged/disadvantaged group pair."""
+
+    group_key: str
+    privileged: ConfusionMatrix
+    disadvantaged: ConfusionMatrix
+
+    def metric_value(self, metric) -> float:
+        """Evaluate a fairness metric callable on this pair."""
+        return metric(self.privileged, self.disadvantaged)
+
+
+def group_confusion_matrices(
+    table: Table,
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    spec: GroupSpec | IntersectionalSpec,
+) -> GroupConfusion:
+    """Confusion matrices restricted to the spec's two groups."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != table.n_rows or len(y_pred) != table.n_rows:
+        raise ValueError(
+            f"label arrays must have {table.n_rows} entries, "
+            f"got {len(y_true)} / {len(y_pred)}"
+        )
+    privileged = spec.privileged_mask(table)
+    disadvantaged = spec.disadvantaged_mask(table)
+    return GroupConfusion(
+        group_key=spec.key,
+        privileged=confusion_matrix(y_true[privileged], y_pred[privileged]),
+        disadvantaged=confusion_matrix(y_true[disadvantaged], y_pred[disadvantaged]),
+    )
+
+
+def result_store_keys(
+    technique: str, group: GroupConfusion
+) -> dict[str, int]:
+    """Flatten a group confusion pair into CleanML-style result keys.
+
+    For a single-attribute spec with key ``sex``::
+
+        {technique}__sex_priv__tn ... {technique}__sex_dis__tp
+
+    For an intersectional spec with key ``sex_x_age`` the fragments
+    become ``sex_priv__age_priv`` and ``sex_dis__age_dis``.
+    """
+    if "_x_" in group.group_key:
+        first, second = group.group_key.split("_x_", 1)
+        priv_fragment = f"{first}_priv__{second}_priv"
+        dis_fragment = f"{first}_dis__{second}_dis"
+    else:
+        priv_fragment = f"{group.group_key}_priv"
+        dis_fragment = f"{group.group_key}_dis"
+    keys: dict[str, int] = {}
+    for fragment, matrix in (
+        (priv_fragment, group.privileged),
+        (dis_fragment, group.disadvantaged),
+    ):
+        for cell, count in matrix.as_dict().items():
+            keys[f"{technique}__{fragment}__{cell}"] = count
+    return keys

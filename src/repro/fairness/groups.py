@@ -1,0 +1,141 @@
+"""Protected-group definitions.
+
+A :class:`GroupPredicate` is the declarative building block from the
+paper's Listing 1: ``("age", operator.gt, 25)`` marks the privileged
+group. A :class:`GroupSpec` names a single sensitive attribute and its
+privileged predicate; the disadvantaged group is its complement. An
+:class:`IntersectionalSpec` combines two specs: intersectionally
+privileged tuples satisfy both privileged predicates, intersectionally
+disadvantaged tuples satisfy neither — mixed tuples are excluded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tabular import ColumnKind, Table
+
+
+class Comparison(enum.Enum):
+    """Comparison operators available in group predicates."""
+
+    EQ = "eq"
+    GT = "gt"
+    GE = "ge"
+    LT = "lt"
+    LE = "le"
+
+
+@dataclass(frozen=True)
+class GroupPredicate:
+    """A binary predicate over one sensitive attribute.
+
+    Attributes:
+        attribute: Sensitive-attribute column name.
+        comparison: Comparison operator.
+        value: Comparison constant (str for categorical, number for numeric).
+    """
+
+    attribute: str
+    comparison: Comparison
+    value: str | float | int
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Boolean mask of tuples satisfying the predicate.
+
+        Tuples with a missing sensitive attribute satisfy neither a
+        predicate nor its complement and evaluate to False here; use
+        :meth:`defined` to identify them.
+        """
+        if self.attribute not in table.schema:
+            raise KeyError(
+                f"sensitive attribute {self.attribute!r} not in table; "
+                f"available: {', '.join(table.column_names)}"
+            )
+        values = table.column(self.attribute)
+        kind = table.kind_of(self.attribute)
+        if kind is ColumnKind.CATEGORICAL:
+            if self.comparison is not Comparison.EQ:
+                raise ValueError(
+                    f"categorical attribute {self.attribute!r} only supports EQ"
+                )
+            return np.array(
+                [value is not None and value == str(self.value) for value in values],
+                dtype=bool,
+            )
+        numeric = values.astype(np.float64)
+        defined = ~np.isnan(numeric)
+        constant = float(self.value)  # raises for non-numeric constants
+        result = np.zeros(len(values), dtype=bool)
+        if self.comparison is Comparison.EQ:
+            result[defined] = numeric[defined] == constant
+        elif self.comparison is Comparison.GT:
+            result[defined] = numeric[defined] > constant
+        elif self.comparison is Comparison.GE:
+            result[defined] = numeric[defined] >= constant
+        elif self.comparison is Comparison.LT:
+            result[defined] = numeric[defined] < constant
+        else:
+            result[defined] = numeric[defined] <= constant
+        return result
+
+    def defined(self, table: Table) -> np.ndarray:
+        """Boolean mask of tuples whose sensitive attribute is present."""
+        return ~table.is_missing(self.attribute)
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A single-attribute protected-group definition.
+
+    Attributes:
+        attribute: Human-readable sensitive-attribute name (used in
+            result-store keys, e.g. ``sex``).
+        privileged: Predicate marking the privileged group.
+    """
+
+    attribute: str
+    privileged: GroupPredicate
+
+    def privileged_mask(self, table: Table) -> np.ndarray:
+        """Tuples in the privileged group."""
+        return self.privileged.evaluate(table)
+
+    def disadvantaged_mask(self, table: Table) -> np.ndarray:
+        """Tuples in the disadvantaged group (complement among defined)."""
+        return ~self.privileged.evaluate(table) & self.privileged.defined(table)
+
+    @property
+    def key(self) -> str:
+        """Result-store key fragment, e.g. ``sex``."""
+        return self.attribute
+
+
+@dataclass(frozen=True)
+class IntersectionalSpec:
+    """An intersectional group definition over two sensitive attributes.
+
+    Privileged = privileged on both axes; disadvantaged = disadvantaged
+    on both axes. Mixed tuples belong to neither group.
+    """
+
+    first: GroupSpec
+    second: GroupSpec
+
+    def privileged_mask(self, table: Table) -> np.ndarray:
+        """Tuples privileged along both axes."""
+        return self.first.privileged_mask(table) & self.second.privileged_mask(table)
+
+    def disadvantaged_mask(self, table: Table) -> np.ndarray:
+        """Tuples disadvantaged along both axes."""
+        return self.first.disadvantaged_mask(table) & self.second.disadvantaged_mask(
+            table
+        )
+
+    @property
+    def key(self) -> str:
+        """Result-store key fragment, e.g. ``sex_x_age``."""
+        return f"{self.first.attribute}_x_{self.second.attribute}"

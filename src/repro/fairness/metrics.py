@@ -1,0 +1,77 @@
+"""Group fairness metrics.
+
+Each metric is a function of the privileged and disadvantaged
+confusion matrices, returning a signed disparity (privileged minus
+disadvantaged). A value of 0 means the metric is satisfied; the
+*unfairness magnitude* is the absolute value. The paper reports
+predictive parity (precision disparity) and equal opportunity (recall
+disparity); the remaining metrics are provided for follow-up analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ml.metrics import ConfusionMatrix
+
+FairnessMetric = Callable[[ConfusionMatrix, ConfusionMatrix], float]
+
+
+def predictive_parity(
+    privileged: ConfusionMatrix, disadvantaged: ConfusionMatrix
+) -> float:
+    """Precision disparity: P(y=1 | ŷ=1, priv) − P(y=1 | ŷ=1, dis)."""
+    return privileged.precision - disadvantaged.precision
+
+
+def equal_opportunity(
+    privileged: ConfusionMatrix, disadvantaged: ConfusionMatrix
+) -> float:
+    """Recall disparity: P(ŷ=1 | y=1, priv) − P(ŷ=1 | y=1, dis)."""
+    return privileged.recall - disadvantaged.recall
+
+
+def demographic_parity(
+    privileged: ConfusionMatrix, disadvantaged: ConfusionMatrix
+) -> float:
+    """Selection-rate disparity: P(ŷ=1 | priv) − P(ŷ=1 | dis)."""
+    return privileged.selection_rate - disadvantaged.selection_rate
+
+
+def false_positive_rate_parity(
+    privileged: ConfusionMatrix, disadvantaged: ConfusionMatrix
+) -> float:
+    """False-positive-rate disparity."""
+    return privileged.false_positive_rate - disadvantaged.false_positive_rate
+
+
+def equalized_odds(
+    privileged: ConfusionMatrix, disadvantaged: ConfusionMatrix
+) -> float:
+    """Worst-case of recall and FPR disparities (signed by the larger)."""
+    recall_gap = equal_opportunity(privileged, disadvantaged)
+    fpr_gap = false_positive_rate_parity(privileged, disadvantaged)
+    return recall_gap if abs(recall_gap) >= abs(fpr_gap) else fpr_gap
+
+
+def accuracy_parity(
+    privileged: ConfusionMatrix, disadvantaged: ConfusionMatrix
+) -> float:
+    """Accuracy disparity."""
+    return privileged.accuracy - disadvantaged.accuracy
+
+
+#: The metrics the paper's tables report, keyed by their abbreviations.
+FAIRNESS_METRICS: dict[str, FairnessMetric] = {
+    "PP": predictive_parity,
+    "EO": equal_opportunity,
+}
+
+#: Extended metric registry for follow-up analyses.
+ALL_FAIRNESS_METRICS: dict[str, FairnessMetric] = {
+    **FAIRNESS_METRICS,
+    "DP": demographic_parity,
+    "FPRP": false_positive_rate_parity,
+    "EOdds": equalized_odds,
+    "AP": accuracy_parity,
+}

@@ -1,0 +1,111 @@
+"""Estimator protocol and cloning.
+
+Estimators follow the scikit-learn convention: all hyperparameters are
+keyword arguments of ``__init__`` stored under the same attribute name,
+``fit`` returns ``self``, and fitted state lives in attributes with a
+trailing underscore. :func:`clone` builds an unfitted copy from the
+constructor parameters.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, TypeVar
+
+import numpy as np
+
+EstimatorT = TypeVar("EstimatorT", bound="BaseEstimator")
+
+
+class BaseEstimator:
+    """Shared parameter plumbing for all estimators."""
+
+    @classmethod
+    def _param_names(cls) -> tuple[str, ...]:
+        signature = inspect.signature(cls.__init__)
+        return tuple(
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        )
+
+    def get_params(self) -> dict[str, Any]:
+        """Return the constructor hyperparameters of this estimator."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self: EstimatorT, **params: Any) -> EstimatorT:
+        """Set hyperparameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no hyperparameter {name!r}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: EstimatorT) -> EstimatorT:
+    """Return an unfitted copy of ``estimator`` with identical hyperparameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+class BaseClassifier(BaseEstimator):
+    """Base class for binary classifiers.
+
+    Subclasses implement ``fit(X, y)`` and ``predict_proba(X)``;
+    ``predict`` thresholds the positive-class probability at 0.5.
+    Labels are expected to be 0/1 integers.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Return an (n, 2) array of class probabilities [P(y=0), P(y=1)]."""
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return hard 0/1 predictions."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    def _check_fit_inputs(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-d, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError(
+                f"y must have shape ({X.shape[0]},), got {y.shape}"
+            )
+        if np.isnan(X).any():
+            raise ValueError(
+                "X contains NaN; impute or drop missing values before fitting"
+            )
+        y = y.astype(np.int64)
+        labels = np.unique(y)
+        if not np.isin(labels, (0, 1)).all():
+            raise ValueError(f"labels must be 0/1, got {labels}")
+        self.classes_ = np.array([0, 1], dtype=np.int64)
+        return X, y
+
+    def _check_predict_inputs(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-d, got shape {X.shape}")
+        if np.isnan(X).any():
+            raise ValueError(
+                "X contains NaN; impute or drop missing values before predicting"
+            )
+        return X

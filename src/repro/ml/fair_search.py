@@ -1,0 +1,147 @@
+"""Fairness-constrained hyperparameter search (the paper's §VII).
+
+Standard cross-validated selection maximises accuracy alone; the paper
+proposes extending the selection procedure to "adhere to fairness
+constraints". :class:`FairnessConstrainedSearch` implements that: it
+evaluates each hyperparameter candidate with cross-validation and
+selects the most accurate candidate whose mean absolute fairness
+disparity on the validation folds stays within ``max_disparity``.
+When no candidate satisfies the constraint, the candidate with the
+smallest disparity is selected instead (fail-safe mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.fairness.metrics import FairnessMetric
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.model_selection import StratifiedKFold
+
+
+class FairnessConstrainedSearch:
+    """Grid search maximising accuracy subject to a fairness constraint.
+
+    Args:
+        estimator: Prototype classifier (cloned per fit).
+        param_grid: Hyperparameter candidates.
+        metric: Fairness metric evaluated on each validation fold.
+        max_disparity: Constraint on the mean |disparity| across folds.
+        n_splits: Cross-validation folds.
+        random_state: Seed for fold assignment.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseClassifier,
+        param_grid: dict[str, Sequence[Any]],
+        metric: FairnessMetric,
+        max_disparity: float = 0.1,
+        n_splits: int = 3,
+        random_state: int = 0,
+    ) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must not be empty")
+        if max_disparity < 0:
+            raise ValueError(f"max_disparity must be >= 0, got {max_disparity}")
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.metric = metric
+        self.max_disparity = max_disparity
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.best_params_: dict[str, Any] | None = None
+        self.best_estimator_: BaseClassifier | None = None
+        self.best_accuracy_: float = float("nan")
+        self.best_disparity_: float = float("nan")
+        self.constraint_satisfied_: bool = False
+        self.cv_results_: list[dict[str, Any]] = []
+
+    def _candidates(self):
+        names = list(self.param_grid)
+        counts = [len(self.param_grid[name]) for name in names]
+        total = int(np.prod(counts))
+        for flat in range(total):
+            candidate = {}
+            remainder = flat
+            for name, count in zip(names, counts):
+                candidate[name] = self.param_grid[name][remainder % count]
+                remainder //= count
+            yield candidate
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        privileged: np.ndarray,
+        disadvantaged: np.ndarray,
+    ) -> "FairnessConstrainedSearch":
+        """Search with group masks aligned to the training rows."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).astype(np.int64)
+        privileged = np.asarray(privileged, dtype=bool)
+        disadvantaged = np.asarray(disadvantaged, dtype=bool)
+        if privileged.shape != y.shape or disadvantaged.shape != y.shape:
+            raise ValueError("group masks must align with the training rows")
+        folds = list(StratifiedKFold(self.n_splits, self.random_state).split(y))
+        self.cv_results_ = []
+        for candidate in self._candidates():
+            accuracies = []
+            disparities = []
+            for train_idx, valid_idx in folds:
+                model = clone(self.estimator).set_params(**candidate)
+                model.fit(X[train_idx], y[train_idx])
+                predictions = model.predict(X[valid_idx])
+                accuracies.append(accuracy_score(y[valid_idx], predictions))
+                priv_mask = privileged[valid_idx]
+                dis_mask = disadvantaged[valid_idx]
+                if priv_mask.any() and dis_mask.any():
+                    disparity = self.metric(
+                        confusion_matrix(y[valid_idx][priv_mask], predictions[priv_mask]),
+                        confusion_matrix(y[valid_idx][dis_mask], predictions[dis_mask]),
+                    )
+                else:
+                    disparity = float("nan")
+                disparities.append(abs(disparity))
+            mean_disparity = (
+                float(np.nanmean(disparities))
+                if not np.isnan(disparities).all()
+                else float("inf")
+            )
+            self.cv_results_.append(
+                {
+                    "params": dict(candidate),
+                    "accuracy": float(np.mean(accuracies)),
+                    "disparity": mean_disparity,
+                }
+            )
+        feasible = [
+            entry
+            for entry in self.cv_results_
+            if entry["disparity"] <= self.max_disparity
+        ]
+        if feasible:
+            best = max(feasible, key=lambda entry: entry["accuracy"])
+            self.constraint_satisfied_ = True
+        else:
+            best = min(self.cv_results_, key=lambda entry: entry["disparity"])
+            self.constraint_satisfied_ = False
+        self.best_params_ = dict(best["params"])
+        self.best_accuracy_ = best["accuracy"]
+        self.best_disparity_ = best["disparity"]
+        self.best_estimator_ = clone(self.estimator).set_params(**best["params"])
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("FairnessConstrainedSearch is not fitted")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("FairnessConstrainedSearch is not fitted")
+        return self.best_estimator_.predict_proba(X)

@@ -1,0 +1,99 @@
+"""Table-to-matrix featurisation.
+
+The :class:`TabularFeaturizer` turns a :class:`~repro.tabular.Table`
+into a dense float matrix: numeric columns are standardised, and
+categorical columns are one-hot encoded. It is always fitted on the
+training table and applied to both train and test tables, mirroring
+the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+from repro.tabular import Table
+
+
+class TabularFeaturizer(BaseEstimator):
+    """Featurise tables for the study's classifiers.
+
+    Args:
+        feature_columns: The columns to featurise; defaults to every
+            column of the table passed to :meth:`fit`.
+
+    Numeric columns must not contain NaN at fit/transform time (the
+    benchmark repairs or drops missing values first); categorical
+    missing values (None) are tolerated and encoded as their own
+    indicator when present during fit.
+    """
+
+    def __init__(self, feature_columns: tuple[str, ...] | None = None) -> None:
+        self.feature_columns = feature_columns
+        self._numeric_names: tuple[str, ...] = ()
+        self._categorical_names: tuple[str, ...] = ()
+        self._scaler: StandardScaler | None = None
+        self._encoder: OneHotEncoder | None = None
+
+    def fit(self, table: Table) -> "TabularFeaturizer":
+        names = self.feature_columns or table.column_names
+        missing = [name for name in names if name not in table.schema]
+        if missing:
+            raise KeyError(f"feature columns not in table: {missing}")
+        self._numeric_names = tuple(
+            name for name in names if name in set(table.schema.numeric_names())
+        )
+        self._categorical_names = tuple(
+            name for name in names if name in set(table.schema.categorical_names())
+        )
+        if self._numeric_names:
+            numeric = np.column_stack(
+                [table.column(name) for name in self._numeric_names]
+            )
+            if np.isnan(numeric).any():
+                raise ValueError(
+                    "numeric feature columns contain NaN; repair missing values first"
+                )
+            self._scaler = StandardScaler().fit(numeric)
+        self._encoder = OneHotEncoder().fit(
+            [table.column(name) for name in self._categorical_names]
+        )
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Return the dense feature matrix for ``table``."""
+        if self._encoder is None:
+            raise RuntimeError("TabularFeaturizer is not fitted")
+        blocks = []
+        if self._numeric_names:
+            numeric = np.column_stack(
+                [table.column(name) for name in self._numeric_names]
+            )
+            if np.isnan(numeric).any():
+                raise ValueError(
+                    "numeric feature columns contain NaN; repair missing values first"
+                )
+            assert self._scaler is not None
+            blocks.append(self._scaler.transform(numeric))
+        if self._categorical_names:
+            blocks.append(
+                self._encoder.transform(
+                    [table.column(name) for name in self._categorical_names]
+                )
+            )
+        if not blocks:
+            return np.zeros((table.n_rows, 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        return self.fit(table).transform(table)
+
+    @property
+    def n_output_features(self) -> int:
+        """Width of the produced feature matrix."""
+        if self._encoder is None:
+            raise RuntimeError("TabularFeaturizer is not fitted")
+        width = len(self._numeric_names)
+        width += self._encoder.n_output_features
+        return width

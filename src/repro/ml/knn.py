@@ -1,0 +1,59 @@
+"""Brute-force k-nearest-neighbours classification.
+
+Exact euclidean kNN. Distances are computed in memory-bounded chunks
+so that large test sets do not materialise an n_test × n_train matrix
+at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier
+
+_CHUNK_TARGET_CELLS = 4_000_000
+
+
+class KNearestNeighborsClassifier(BaseClassifier):
+    """kNN classifier with probability = fraction of positive neighbours.
+
+    Args:
+        n_neighbors: Number of neighbours to vote (capped at the
+            training-set size at fit time).
+    """
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighborsClassifier":
+        X, y = self._check_fit_inputs(X, y)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit kNN on an empty training set")
+        self._X = X
+        self._y = y
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("KNearestNeighborsClassifier is not fitted")
+        X = self._check_predict_inputs(X)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"expected {self._X.shape[1]} features, got {X.shape[1]}"
+            )
+        k = min(self.n_neighbors, self._X.shape[0])
+        n_train = self._X.shape[0]
+        chunk_rows = max(1, _CHUNK_TARGET_CELLS // max(1, n_train))
+        train_sq = np.sum(self._X**2, axis=1)
+        positives = np.empty(X.shape[0], dtype=np.float64)
+        for start in range(0, X.shape[0], chunk_rows):
+            chunk = X[start : start + chunk_rows]
+            # squared euclidean distance; constant ||x||^2 term omitted
+            distances = train_sq[None, :] - 2.0 * (chunk @ self._X.T)
+            neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            positives[start : start + chunk_rows] = self._y[neighbor_idx].mean(axis=1)
+        return np.column_stack([1.0 - positives, positives])

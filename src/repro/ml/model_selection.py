@@ -1,0 +1,190 @@
+"""Cross-validation and hyperparameter search.
+
+Provides seeded K-fold splitters, an array-level train/test split,
+grid search over a single metric (accuracy), and out-of-fold
+probability prediction (the building block of confident learning).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.metrics import accuracy_score
+
+
+class KFold:
+    """Shuffled K-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, random_state: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.random_state)
+        permutation = rng.permutation(n_samples)
+        folds = np.array_split(permutation, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class StratifiedKFold:
+    """Shuffled K-fold preserving the 0/1 label ratio per fold."""
+
+    def __init__(self, n_splits: int = 5, random_state: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs stratified on y."""
+        y = np.asarray(y).astype(np.int64)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.empty(len(y), dtype=np.int64)
+        for label in np.unique(y):
+            members = np.nonzero(y == label)[0]
+            if len(members) < self.n_splits:
+                raise ValueError(
+                    f"class {label} has only {len(members)} examples for "
+                    f"{self.n_splits} folds"
+                )
+            members = rng.permutation(members)
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        for i in range(self.n_splits):
+            test = np.nonzero(fold_of == i)[0]
+            train = np.nonzero(fold_of != i)[0]
+            yield train, test
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split arrays into train/test partitions."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError(f"length mismatch: X {len(X)} vs y {len(y)}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n_test = int(round(len(X) * test_fraction))
+    if n_test == 0 or n_test == len(X):
+        raise ValueError("split leaves an empty partition")
+    permutation = rng.permutation(len(X))
+    test_idx, train_idx = permutation[:n_test], permutation[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class GridSearchCV:
+    """Exhaustive grid search maximising cross-validated accuracy.
+
+    Args:
+        estimator: Prototype classifier (cloned per fit).
+        param_grid: Mapping from hyperparameter name to candidate values.
+        n_splits: Cross-validation folds.
+        random_state: Seed for fold assignment (the paper evaluates
+            several tuning seeds per split).
+    """
+
+    def __init__(
+        self,
+        estimator: BaseClassifier,
+        param_grid: dict[str, Sequence[Any]],
+        n_splits: int = 5,
+        random_state: int = 0,
+    ) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must not be empty")
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.best_params_: dict[str, Any] | None = None
+        self.best_score_: float = float("nan")
+        self.best_estimator_: BaseClassifier | None = None
+        self.cv_results_: list[dict[str, Any]] = []
+
+    def _candidates(self) -> Iterator[dict[str, Any]]:
+        names = list(self.param_grid)
+        counts = [len(self.param_grid[name]) for name in names]
+        total = int(np.prod(counts))
+        for flat in range(total):
+            candidate = {}
+            remainder = flat
+            for name, count in zip(names, counts):
+                candidate[name] = self.param_grid[name][remainder % count]
+                remainder //= count
+            yield candidate
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).astype(np.int64)
+        splitter = StratifiedKFold(self.n_splits, self.random_state)
+        folds = list(splitter.split(y))
+        self.cv_results_ = []
+        best_score = -np.inf
+        best_params: dict[str, Any] | None = None
+        for candidate in self._candidates():
+            scores = []
+            for train_idx, test_idx in folds:
+                model = clone(self.estimator).set_params(**candidate)
+                model.fit(X[train_idx], y[train_idx])
+                scores.append(accuracy_score(y[test_idx], model.predict(X[test_idx])))
+            mean_score = float(np.mean(scores))
+            self.cv_results_.append({"params": dict(candidate), "score": mean_score})
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = dict(candidate)
+        assert best_params is not None
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV is not fitted")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV is not fitted")
+        return self.best_estimator_.predict_proba(X)
+
+
+def cross_val_predict_proba(
+    estimator: BaseClassifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    random_state: int = 0,
+) -> np.ndarray:
+    """Out-of-fold positive-class probabilities for every example.
+
+    Each example's probability comes from a model that never saw it
+    during training — the estimate confident learning requires.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).astype(np.int64)
+    out = np.empty(len(y), dtype=np.float64)
+    splitter = StratifiedKFold(n_splits, random_state)
+    for train_idx, test_idx in splitter.split(y):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        out[test_idx] = model.predict_proba(X[test_idx])[:, 1]
+    return out

@@ -1,0 +1,100 @@
+"""Feature preprocessing: standardisation and one-hot encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise numeric features to zero mean and unit variance.
+
+    Constant columns are left centred (their standard deviation is
+    treated as 1 to avoid division by zero).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-d, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encode columns of string categories.
+
+    Categories are learned at fit time; unseen categories at transform
+    time map to the all-zeros vector (the "ignore" strategy). ``None``
+    (missing) values also map to all-zeros unless they were present at
+    fit time, in which case missingness gets its own indicator — this
+    is what lets downstream models exploit "dummy"-imputed columns.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[list[str | None]] | None = None
+
+    def fit(self, columns: list[np.ndarray]) -> "OneHotEncoder":
+        """Fit on a list of object arrays (one per categorical column)."""
+        self.categories_ = []
+        for values in columns:
+            seen: set[str | None] = set()
+            for value in values:
+                seen.add(value)
+            # None sorts last; strings sort lexicographically.
+            ordered = sorted(
+                (value for value in seen if value is not None)
+            ) + ([None] if None in seen else [])
+            self.categories_.append(ordered)
+        return self
+
+    def transform(self, columns: list[np.ndarray]) -> np.ndarray:
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        if len(columns) != len(self.categories_):
+            raise ValueError(
+                f"expected {len(self.categories_)} columns, got {len(columns)}"
+            )
+        blocks = []
+        for values, categories in zip(columns, self.categories_):
+            index = {category: i for i, category in enumerate(categories)}
+            block = np.zeros((len(values), len(categories)), dtype=np.float64)
+            for row, value in enumerate(values):
+                position = index.get(value)
+                if position is not None:
+                    block[row, position] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((0, 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+    def fit_transform(self, columns: list[np.ndarray]) -> np.ndarray:
+        return self.fit(columns).transform(columns)
+
+    @property
+    def n_output_features(self) -> int:
+        """Total width of the encoded block."""
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        return sum(len(categories) for categories in self.categories_)

@@ -1,0 +1,241 @@
+"""CART-style regression trees.
+
+The tree core works on per-example gradient/hessian pairs with the
+second-order gain rule used by gradient-boosting libraries:
+
+    gain = 1/2 [ G_L^2/(H_L+lam) + G_R^2/(H_R+lam) - G^2/(H+lam) ]
+    leaf value = -G / (H + lam)
+
+:class:`DecisionTreeRegressor` exposes the squared-error special case
+(g = -y, h = 1, leaf = mean of y) as a standalone public estimator;
+:mod:`repro.ml.boosting` drives the same core with logistic-loss
+gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature`` = -1."""
+
+    feature: int
+    threshold: float
+    value: float
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _best_split(
+    X: np.ndarray,
+    gradients: np.ndarray,
+    hessians: np.ndarray,
+    lam: float,
+    min_child_weight: float,
+) -> tuple[int, float, float] | None:
+    """Return ``(feature, threshold, gain)`` of the best split, or None."""
+    total_g = gradients.sum()
+    total_h = hessians.sum()
+    parent_score = total_g**2 / (total_h + lam)
+    best: tuple[int, float, float] | None = None
+    for feature in range(X.shape[1]):
+        values = X[:, feature]
+        order = np.argsort(values, kind="mergesort")
+        sorted_values = values[order]
+        g_cum = np.cumsum(gradients[order])
+        h_cum = np.cumsum(hessians[order])
+        # candidate split after position i (left = first i+1 examples);
+        # only valid where the value actually changes
+        boundaries = np.nonzero(sorted_values[:-1] < sorted_values[1:])[0]
+        if boundaries.size == 0:
+            continue
+        g_left = g_cum[boundaries]
+        h_left = h_cum[boundaries]
+        g_right = total_g - g_left
+        h_right = total_h - h_left
+        valid = (h_left >= min_child_weight) & (h_right >= min_child_weight)
+        if not valid.any():
+            continue
+        gains = (
+            g_left**2 / (h_left + lam)
+            + g_right**2 / (h_right + lam)
+            - parent_score
+        )
+        gains[~valid] = -np.inf
+        pick = int(np.argmax(gains))
+        gain = float(gains[pick]) / 2.0
+        if gain <= 0:
+            continue
+        boundary = boundaries[pick]
+        threshold = float(
+            (sorted_values[boundary] + sorted_values[boundary + 1]) / 2.0
+        )
+        if best is None or gain > best[2]:
+            best = (feature, threshold, gain)
+    return best
+
+
+def _build(
+    X: np.ndarray,
+    gradients: np.ndarray,
+    hessians: np.ndarray,
+    depth: int,
+    max_depth: int,
+    lam: float,
+    min_child_weight: float,
+    min_split_gain: float,
+) -> _Node:
+    value = float(-gradients.sum() / (hessians.sum() + lam))
+    if depth >= max_depth or X.shape[0] < 2:
+        return _Node(feature=-1, threshold=0.0, value=value)
+    split = _best_split(X, gradients, hessians, lam, min_child_weight)
+    if split is None or split[2] < min_split_gain:
+        return _Node(feature=-1, threshold=0.0, value=value)
+    feature, threshold, __ = split
+    goes_left = X[:, feature] <= threshold
+    left = _build(
+        X[goes_left],
+        gradients[goes_left],
+        hessians[goes_left],
+        depth + 1,
+        max_depth,
+        lam,
+        min_child_weight,
+        min_split_gain,
+    )
+    right = _build(
+        X[~goes_left],
+        gradients[~goes_left],
+        hessians[~goes_left],
+        depth + 1,
+        max_depth,
+        lam,
+        min_child_weight,
+        min_split_gain,
+    )
+    return _Node(feature=feature, threshold=threshold, value=value, left=left, right=right)
+
+
+def _predict_node(node: _Node, X: np.ndarray, out: np.ndarray, rows: np.ndarray) -> None:
+    if node.is_leaf:
+        out[rows] = node.value
+        return
+    assert node.left is not None and node.right is not None
+    goes_left = X[rows, node.feature] <= node.threshold
+    _predict_node(node.left, X, out, rows[goes_left])
+    _predict_node(node.right, X, out, rows[~goes_left])
+
+
+class _GradientTree:
+    """A single fitted tree over gradient/hessian targets."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        lam: float,
+        min_child_weight: float,
+        min_split_gain: float,
+    ) -> None:
+        self._max_depth = max_depth
+        self._lam = lam
+        self._min_child_weight = min_child_weight
+        self._min_split_gain = min_split_gain
+        self._root: _Node | None = None
+
+    def fit(
+        self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> "_GradientTree":
+        self._root = _build(
+            X,
+            gradients,
+            hessians,
+            depth=0,
+            max_depth=self._max_depth,
+            lam=self._lam,
+            min_child_weight=self._min_child_weight,
+            min_split_gain=self._min_split_gain,
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        out = np.empty(X.shape[0], dtype=np.float64)
+        _predict_node(self._root, X, out, np.arange(X.shape[0]))
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """Squared-error regression tree (public CART interface).
+
+    Args:
+        max_depth: Maximum tree depth (0 = a single leaf).
+        min_samples_leaf: Minimum examples per leaf.
+        min_split_gain: Minimum gain required to split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        min_split_gain: float = 1e-12,
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_split_gain = min_split_gain
+        self._tree: _GradientTree | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError(
+                f"bad shapes: X {X.shape}, y {y.shape}"
+            )
+        # squared error: g_i = -y_i, h_i = 1 gives leaf value = mean(y)
+        self._tree = _GradientTree(
+            max_depth=self.max_depth,
+            lam=0.0,
+            min_child_weight=float(self.min_samples_leaf),
+            min_split_gain=self.min_split_gain,
+        ).fit(X, -y, np.ones_like(y))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._tree is None:
+            raise RuntimeError("DecisionTreeRegressor is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return self._tree.predict(X)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._tree is None:
+            raise RuntimeError("DecisionTreeRegressor is not fitted")
+        return self._tree.depth()

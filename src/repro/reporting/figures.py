@@ -1,0 +1,54 @@
+"""Text rendering of the RQ1 disparity figures (Figures 1 and 2).
+
+The paper's figures show, per dataset and detector, the fraction of
+flagged tuples in the privileged vs disadvantaged group. We render the
+same data as aligned text bars, marking significant disparities.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.disparity import DisparityFinding
+
+_BAR_WIDTH = 32
+
+
+def _bar(fraction: float) -> str:
+    if fraction != fraction:  # NaN
+        return "n/a"
+    filled = int(round(min(max(fraction, 0.0), 1.0) * _BAR_WIDTH))
+    return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+def render_disparity_figure(
+    findings: list[DisparityFinding], title: str
+) -> str:
+    """Render a Figure-1/2-style disparity chart as text.
+
+    Findings are grouped by dataset and group key; each detector shows
+    privileged (priv) and disadvantaged (dis) flagged fractions, with a
+    ``*`` marking G²-significant disparities.
+    """
+    lines = [title]
+    current_header = None
+    for finding in findings:
+        header = f"{finding.dataset} / {finding.group_key}"
+        if header != current_header:
+            current_header = header
+            lines.append("")
+            lines.append(header)
+        marker = "*" if finding.significant else " "
+        lines.append(
+            f"  {finding.detector:<16}{marker} "
+            f"priv {_bar(finding.privileged_fraction)} "
+            f"{100 * finding.privileged_fraction:5.1f}%  "
+            f"({finding.privileged_flagged}/{finding.privileged_total})"
+        )
+        lines.append(
+            f"  {'':<16}{' '} "
+            f"dis  {_bar(finding.disadvantaged_fraction)} "
+            f"{100 * finding.disadvantaged_fraction:5.1f}%  "
+            f"({finding.disadvantaged_flagged}/{finding.disadvantaged_total})"
+        )
+    if current_header is None:
+        lines.append("  (no findings)")
+    return "\n".join(lines)

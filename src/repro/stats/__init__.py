@@ -1,0 +1,25 @@
+"""Statistical machinery.
+
+- :func:`g_test` — the G² likelihood-ratio independence test the
+  paper uses to decide whether error incidence differs significantly
+  between groups (RQ1).
+- :func:`classify_impact` — the CleanML paired-t-test protocol with
+  Bonferroni correction used to classify a cleaning technique's impact
+  on a score as worse / insignificant / better (RQ2).
+"""
+
+from repro.stats.gtest import GTestResult, g_test, g_test_counts
+from repro.stats.impact import (
+    Impact,
+    classify_impact,
+    paired_t_test,
+)
+
+__all__ = [
+    "GTestResult",
+    "g_test",
+    "g_test_counts",
+    "Impact",
+    "classify_impact",
+    "paired_t_test",
+]

@@ -1,0 +1,23 @@
+"""Columnar table substrate.
+
+A small, explicit replacement for the subset of pandas that the study
+needs: typed columns (numeric with NaN for missing, categorical with
+None for missing), boolean masking, row sampling, train/test splitting
+and CSV round-trips.
+"""
+
+from repro.tabular.schema import ColumnKind, ColumnSpec, Schema
+from repro.tabular.table import Table
+from repro.tabular.io import read_csv, write_csv
+from repro.tabular.ops import concat_rows, train_test_split_table
+
+__all__ = [
+    "ColumnKind",
+    "ColumnSpec",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "concat_rows",
+    "train_test_split_table",
+]

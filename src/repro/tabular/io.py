@@ -1,0 +1,92 @@
+"""CSV round-trips for tables.
+
+Missing values are written as empty fields and read back as NaN
+(numeric) or None (categorical), matching the NULL detection the
+paper's missing-value detector performs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.tabular.schema import ColumnKind, Schema
+from repro.tabular.table import Table
+
+_MISSING_FIELD = ""
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to a CSV file with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        columns = [table.column(name) for name in table.column_names]
+        kinds = [table.kind_of(name) for name in table.column_names]
+        for i in range(table.n_rows):
+            row = []
+            for values, kind in zip(columns, kinds):
+                value = values[i]
+                if kind is ColumnKind.NUMERIC:
+                    row.append(
+                        _MISSING_FIELD if np.isnan(value) else repr(float(value))
+                    )
+                else:
+                    row.append(_MISSING_FIELD if value is None else value)
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path, schema: Schema) -> Table:
+    """Read a CSV file into a table with the given schema.
+
+    The file's header must contain every schema column (extra columns
+    are ignored). Empty fields become missing values.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty, expected a header row") from None
+        missing_columns = set(schema.names) - set(header)
+        if missing_columns:
+            raise ValueError(
+                f"{path} is missing schema columns: {sorted(missing_columns)}"
+            )
+        positions = {name: header.index(name) for name in schema.names}
+        raw_columns: dict[str, list] = {name: [] for name in schema.names}
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            for name in schema.names:
+                field = row[positions[name]]
+                if field == _MISSING_FIELD:
+                    raw_columns[name].append(None)
+                elif schema.kind_of(name) is ColumnKind.NUMERIC:
+                    try:
+                        raw_columns[name].append(float(field))
+                    except ValueError:
+                        raise ValueError(
+                            f"{path}:{line_number}: cannot parse {field!r} "
+                            f"as numeric for column {name!r}"
+                        ) from None
+                else:
+                    raw_columns[name].append(field)
+
+    columns: dict[str, np.ndarray] = {}
+    for name in schema.names:
+        if schema.kind_of(name) is ColumnKind.NUMERIC:
+            columns[name] = np.array(
+                [np.nan if value is None else value for value in raw_columns[name]],
+                dtype=np.float64,
+            )
+        else:
+            arr = np.empty(len(raw_columns[name]), dtype=object)
+            for i, value in enumerate(raw_columns[name]):
+                arr[i] = value
+            columns[name] = arr
+    return Table(schema, columns)

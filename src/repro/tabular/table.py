@@ -1,0 +1,292 @@
+"""The Table data structure.
+
+A Table stores columns as numpy arrays: numeric columns as float64
+(NaN = missing) and categorical columns as object arrays of ``str``
+(None = missing). Tables are immutable by convention — all operations
+return new tables; mutation helpers always copy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.schema import ColumnKind, ColumnSpec, Schema
+
+
+def _as_numeric_array(values: Any) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"numeric column must be 1-d, got shape {arr.shape}")
+    return arr
+
+
+def _as_categorical_array(values: Any) -> np.ndarray:
+    arr = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None:
+            arr[i] = None
+        elif isinstance(value, float) and np.isnan(value):
+            arr[i] = None
+        else:
+            arr[i] = str(value)
+    return arr
+
+
+class Table:
+    """An immutable-by-convention columnar table.
+
+    Build tables either from a schema plus column mapping, or with
+    :meth:`from_columns` which infers the schema from numpy dtypes.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema {list(schema.names)}"
+            )
+        lengths = {len(columns[name]) for name in schema.names}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns, lengths: {sorted(lengths)}")
+        self._schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        for spec in schema.columns:
+            values = columns[spec.name]
+            if spec.kind is ColumnKind.NUMERIC:
+                self._columns[spec.name] = _as_numeric_array(values)
+            else:
+                self._columns[spec.name] = _as_categorical_array(values)
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def from_columns(columns: Mapping[str, Any]) -> "Table":
+        """Build a table, inferring column kinds.
+
+        Columns with a numeric numpy dtype (or lists of numbers) become
+        numeric; everything else becomes categorical.
+        """
+        specs = []
+        converted: dict[str, np.ndarray] = {}
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.dtype.kind in "fiub":
+                specs.append(ColumnSpec.numeric(name))
+                converted[name] = arr.astype(np.float64)
+            else:
+                specs.append(ColumnSpec.categorical(name))
+                converted[name] = _as_categorical_array(list(values))
+        return Table(Schema(tuple(specs)), converted)
+
+    @staticmethod
+    def empty(schema: Schema) -> "Table":
+        """Build a zero-row table with the given schema."""
+        columns = {
+            spec.name: (
+                np.empty(0, dtype=np.float64)
+                if spec.kind is ColumnKind.NUMERIC
+                else np.empty(0, dtype=object)
+            )
+            for spec in schema.columns
+        }
+        return Table(schema, columns)
+
+    # -- basic accessors -----------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The table's schema."""
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns."""
+        return len(self._schema)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in schema order."""
+        return self._schema.names
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """Return a copy of the named column's values."""
+        return self._column_view(name).copy()
+
+    def _column_view(self, name: str) -> np.ndarray:
+        """Internal zero-copy access; callers must not mutate the result."""
+        if name not in self._schema:
+            raise KeyError(
+                f"no column {name!r}; available: {', '.join(self.column_names)}"
+            )
+        return self._columns[name]
+
+    def kind_of(self, name: str) -> ColumnKind:
+        """Return the kind of the named column."""
+        return self._schema.kind_of(name)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a dict (numeric NaN / categorical None preserved)."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row {index} out of range for {self._n_rows} rows")
+        return {name: self._columns[name][index] for name in self.column_names}
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        """Iterate over rows as dicts."""
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    # -- missingness ---------------------------------------------------
+
+    def is_missing(self, name: str) -> np.ndarray:
+        """Boolean mask of missing values in the named column."""
+        values = self._column_view(name)
+        if self.kind_of(name) is ColumnKind.NUMERIC:
+            return np.isnan(values)
+        return np.array([value is None for value in values], dtype=bool)
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean row mask: True where the row has any missing value."""
+        mask = np.zeros(self._n_rows, dtype=bool)
+        for name in self.column_names:
+            mask |= self.is_missing(name)
+        return mask
+
+    def missing_counts(self) -> dict[str, int]:
+        """Number of missing values per column."""
+        return {name: int(self.is_missing(name).sum()) for name in self.column_names}
+
+    # -- selection & transformation -------------------------------------
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        """Return a table with only the given columns, in the given order."""
+        schema = self._schema.select(tuple(names))
+        return Table(schema, {name: self._columns[name].copy() for name in names})
+
+    def drop_columns(self, names: Sequence[str]) -> "Table":
+        """Return a table without the given columns."""
+        schema = self._schema.without(tuple(names))
+        return Table(
+            schema, {name: self._columns[name].copy() for name in schema.names}
+        )
+
+    def mask_rows(self, mask: np.ndarray) -> "Table":
+        """Return a table with only the rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (self._n_rows,):
+            raise ValueError(
+                f"mask must be a boolean array of length {self._n_rows}, "
+                f"got dtype {mask.dtype} shape {mask.shape}"
+            )
+        return Table(
+            self._schema,
+            {name: self._columns[name][mask] for name in self.column_names},
+        )
+
+    def take_rows(self, indices: np.ndarray) -> "Table":
+        """Return a table with the rows at ``indices`` (ordered, may repeat)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Table(
+            self._schema,
+            {name: self._columns[name][indices] for name in self.column_names},
+        )
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take_rows(np.arange(min(n, self._n_rows)))
+
+    def with_column(self, name: str, values: Any, kind: ColumnKind) -> "Table":
+        """Return a table with the named column replaced or appended."""
+        if name in self._schema:
+            specs = tuple(
+                ColumnSpec(name, kind) if spec.name == name else spec
+                for spec in self._schema.columns
+            )
+        else:
+            specs = self._schema.columns + (ColumnSpec(name, kind),)
+        columns = {col: self._columns[col].copy() for col in self.column_names}
+        columns[name] = values
+        return Table(Schema(specs), columns)
+
+    def with_numeric_column(self, name: str, values: Any) -> "Table":
+        """Replace or append a numeric column."""
+        return self.with_column(name, values, ColumnKind.NUMERIC)
+
+    def with_categorical_column(self, name: str, values: Any) -> "Table":
+        """Replace or append a categorical column."""
+        return self.with_column(name, values, ColumnKind.CATEGORICAL)
+
+    def copy(self) -> "Table":
+        """Deep-copy the table."""
+        return Table(
+            self._schema,
+            {name: self._columns[name].copy() for name in self.column_names},
+        )
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_rows(
+        self, n: int, rng: np.random.Generator, replace: bool = False
+    ) -> "Table":
+        """Sample ``n`` rows using the supplied generator."""
+        if not replace and n > self._n_rows:
+            raise ValueError(
+                f"cannot sample {n} rows without replacement from {self._n_rows}"
+            )
+        indices = rng.choice(self._n_rows, size=n, replace=replace)
+        return self.take_rows(indices)
+
+    def shuffled(self, rng: np.random.Generator) -> "Table":
+        """Return a row-shuffled copy."""
+        return self.take_rows(rng.permutation(self._n_rows))
+
+    # -- categorical helpers --------------------------------------------
+
+    def distinct(self, name: str) -> list[str]:
+        """Sorted distinct non-missing values of a categorical column."""
+        values = self._column_view(name)
+        if self.kind_of(name) is ColumnKind.NUMERIC:
+            finite = values[~np.isnan(values)]
+            return sorted({str(value) for value in finite})
+        return sorted({value for value in values if value is not None})
+
+    def value_counts(self, name: str) -> dict[str, int]:
+        """Counts of non-missing values of a categorical column."""
+        counts: dict[str, int] = {}
+        for value in self._column_view(name):
+            if value is None:
+                continue
+            counts[value] = counts.get(value, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    # -- dunder / display ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._schema != other._schema or self._n_rows != other._n_rows:
+            return False
+        for name in self.column_names:
+            ours, theirs = self._columns[name], other._columns[name]
+            if self.kind_of(name) is ColumnKind.NUMERIC:
+                if not np.array_equal(ours, theirs, equal_nan=True):
+                    return False
+            else:
+                if not all(a == b for a, b in zip(ours, theirs)):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{spec.name}:{spec.kind.value[:3]}" for spec in self._schema.columns
+        )
+        return f"Table({self._n_rows} rows; {kinds})"

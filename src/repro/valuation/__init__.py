@@ -1,0 +1,20 @@
+"""Data valuation for fairness-aware cleaning (the paper's §VII).
+
+The paper's vision section names the identification of input tuples
+with negative impact on fairness as the starting point for designing
+fairness-aware cleaning procedures, citing efficient kNN-based Shapley
+values (Jia et al., VLDB 2019) and their fairness-metric extension
+(Karlaš et al., 2022). This package implements both:
+
+- :func:`knn_shapley` — exact, closed-form Shapley values of training
+  tuples under the kNN utility (O(n log n) per test point),
+- :class:`FairnessShapleyValuator` — group-wise valuation that scores
+  each training tuple's contribution to the disparity between the
+  privileged and disadvantaged groups, so that negatively-valued
+  tuples become cleaning candidates.
+"""
+
+from repro.valuation.knn_shapley import knn_shapley
+from repro.valuation.fairness import FairnessShapleyValuator, ValuationResult
+
+__all__ = ["knn_shapley", "FairnessShapleyValuator", "ValuationResult"]

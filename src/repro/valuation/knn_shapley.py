@@ -1,0 +1,103 @@
+"""Exact Shapley values under the kNN utility.
+
+Implements the closed-form recursion of Jia et al. (VLDB 2019,
+"Efficient task-specific data valuation for nearest neighbor
+algorithms"). For a single test point, sort the training points by
+distance; with sigma(i) the index of the i-th nearest neighbour
+(1-based) and the utility being the fraction of the K nearest
+neighbours that carry the test label:
+
+    s[sigma(n)] = 1[y_sigma(n) = y_test] / n
+    s[sigma(i)] = s[sigma(i+1)]
+                  + (1[y_sigma(i) = y_test] - 1[y_sigma(i+1) = y_test]) / K
+                    * min(K, i) / i
+
+The value of a training point for a test *set* is the mean of its
+per-test-point values. Values sum to the test-set kNN utility
+(efficiency axiom), which the tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CHUNK_TARGET_CELLS = 2_000_000
+
+
+def _validate(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    X_train = np.asarray(X_train, dtype=np.float64)
+    y_train = np.asarray(y_train).astype(np.int64)
+    X_test = np.asarray(X_test, dtype=np.float64)
+    y_test = np.asarray(y_test).astype(np.int64)
+    if X_train.ndim != 2 or X_test.ndim != 2:
+        raise ValueError("feature matrices must be 2-d")
+    if X_train.shape[0] != y_train.shape[0]:
+        raise ValueError(
+            f"X_train has {X_train.shape[0]} rows, y_train {y_train.shape[0]}"
+        )
+    if X_test.shape[0] != y_test.shape[0]:
+        raise ValueError(
+            f"X_test has {X_test.shape[0]} rows, y_test {y_test.shape[0]}"
+        )
+    if X_train.shape[1] != X_test.shape[1]:
+        raise ValueError(
+            f"feature mismatch: train {X_train.shape[1]}, test {X_test.shape[1]}"
+        )
+    if X_train.shape[0] == 0 or X_test.shape[0] == 0:
+        raise ValueError("train and test sets must be non-empty")
+    return X_train, y_train, X_test, y_test
+
+
+def knn_shapley(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    k: int = 5,
+) -> np.ndarray:
+    """Exact per-training-point Shapley values under the kNN utility.
+
+    Args:
+        X_train / y_train: Training features and 0/1 labels.
+        X_test / y_test: Test features and labels defining the utility.
+        k: Number of neighbours in the kNN utility.
+
+    Returns:
+        An array of length ``len(X_train)``; values sum to the mean
+        kNN utility over the test set.
+    """
+    X_train, y_train, X_test, y_test = _validate(X_train, y_train, X_test, y_test)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = X_train.shape[0]
+    values = np.zeros(n, dtype=np.float64)
+    train_sq = np.sum(X_train**2, axis=1)
+    chunk_rows = max(1, _CHUNK_TARGET_CELLS // max(1, n))
+    positions = np.arange(1, n, dtype=np.float64)  # i = 1..n-1 (1-based i of s[i+1])
+    for start in range(0, X_test.shape[0], chunk_rows):
+        chunk = X_test[start : start + chunk_rows]
+        chunk_labels = y_test[start : start + chunk_rows]
+        distances = train_sq[None, :] - 2.0 * (chunk @ X_train.T)
+        order = np.argsort(distances, axis=1, kind="mergesort")
+        for row in range(chunk.shape[0]):
+            sigma = order[row]
+            match = (y_train[sigma] == chunk_labels[row]).astype(np.float64)
+            s = np.empty(n, dtype=np.float64)
+            s[n - 1] = match[n - 1] / n
+            if n > 1:
+                # vectorised backward recursion via cumulative sum:
+                # s[i] = s[i+1] + (match[i] - match[i+1])/k * min(k, i)/i
+                deltas = (
+                    (match[:-1] - match[1:])
+                    / k
+                    * np.minimum(k, positions)
+                    / positions
+                )
+                s[:-1] = s[n - 1] + np.cumsum(deltas[::-1])[::-1]
+            values[sigma] += s
+    return values / X_test.shape[0]

@@ -1,0 +1,145 @@
+"""Tests for the Section VI deep dive and the fairness-aware selector."""
+
+import numpy as np
+
+from repro.benchmark import DeepDive, FairnessAwareSelector
+from repro.stats.impact import Impact
+from tests.benchmark.test_impact_matrix import make_impact
+
+
+def build_impacts():
+    return [
+        make_impact(
+            fairness=Impact.WORSE,
+            accuracy=Impact.BETTER,
+            repair="impute_mean_mode",
+        ),
+        make_impact(
+            fairness=Impact.BETTER,
+            accuracy=Impact.BETTER,
+            repair="impute_mean_dummy",
+        ),
+        make_impact(
+            fairness=Impact.INSIGNIFICANT,
+            accuracy=Impact.WORSE,
+            repair="impute_mode_dummy",
+            model="knn",
+        ),
+        make_impact(
+            fairness=Impact.WORSE,
+            accuracy=Impact.WORSE,
+            dataset="adult",
+            group_key="race",
+            error_type="outliers",
+            detection="outliers_iqr",
+            repair="repair_outliers_mean",
+            model="xgboost",
+        ),
+    ]
+
+
+def test_cases_grouping():
+    cases = DeepDive(build_impacts()).cases()
+    # two distinct cases: (PP, german, sex, missing_values) and
+    # (PP, adult, race, outliers)
+    assert len(cases) == 2
+    german_case = next(c for c in cases if c.dataset == "german")
+    assert german_case.n_configurations == 3
+    assert german_case.has_non_worsening
+    assert german_case.has_fairness_improving
+    assert german_case.has_win_win
+
+
+def test_case_without_beneficial_technique():
+    cases = DeepDive(build_impacts()).cases()
+    adult_case = next(c for c in cases if c.dataset == "adult")
+    assert not adult_case.has_non_worsening
+    assert not adult_case.has_fairness_improving
+    assert not adult_case.has_win_win
+
+
+def test_case_counts():
+    counts = DeepDive(build_impacts()).case_counts()
+    assert counts == {
+        "total": 2,
+        "non_worsening": 1,
+        "fairness_improving": 1,
+        "win_win": 1,
+    }
+
+
+def test_fairness_improvements_by_repair():
+    improvements = DeepDive(build_impacts()).fairness_improvements_by_repair()
+    assert improvements == {"impute_mean_dummy": 1}
+
+
+def test_dummy_vs_mode_imputation():
+    comparison = DeepDive(build_impacts()).dummy_vs_mode_imputation()
+    assert comparison == {"dummy": 1, "other": 0}
+
+
+def test_detection_worsening_rates():
+    rates = DeepDive(build_impacts()).detection_worsening_rates()
+    assert rates["outliers_iqr"] == 1.0
+    assert rates["missing_values"] == 1 / 3
+
+
+def test_model_summaries():
+    summaries = DeepDive(build_impacts()).model_summaries()
+    by_name = {s.model: s for s in summaries}
+    assert by_name["log_reg"].n_configurations == 2
+    assert by_name["log_reg"].fairness_worse == 1
+    assert by_name["log_reg"].fairness_better == 1
+    assert by_name["log_reg"].both_better == 1
+    assert by_name["xgboost"].fairness_worse_fraction == 1.0
+
+
+def test_accuracy_leaderboard_picks_best_model():
+    impacts = [
+        make_impact(mean_clean_accuracy=0.70, model="knn"),
+        make_impact(mean_clean_accuracy=0.75, model="log_reg"),
+        make_impact(mean_clean_accuracy=0.72, model="xgboost"),
+    ]
+    leaderboard = DeepDive(impacts).accuracy_leaderboard()
+    assert leaderboard[("german", "missing_values")] == "log_reg"
+
+
+def test_selector_prefers_fairness_improving():
+    selector = FairnessAwareSelector(build_impacts())
+    recommendation = selector.recommend("german", "sex", "PP", "missing_values")
+    assert recommendation is not None
+    assert recommendation.repair == "impute_mean_dummy"
+    assert recommendation.safe
+
+
+def test_selector_unsafe_when_all_worsen():
+    selector = FairnessAwareSelector(build_impacts())
+    recommendation = selector.recommend("adult", "race", "PP", "outliers")
+    assert recommendation is not None
+    assert not recommendation.safe
+
+
+def test_selector_unknown_case_returns_none():
+    selector = FairnessAwareSelector(build_impacts())
+    assert selector.recommend("heart", "sex", "PP", "outliers") is None
+
+
+def test_selector_model_filter():
+    selector = FairnessAwareSelector(build_impacts())
+    recommendation = selector.recommend(
+        "german", "sex", "PP", "missing_values", model="knn"
+    )
+    assert recommendation is not None
+    assert recommendation.model == "knn"
+    assert recommendation.repair == "impute_mode_dummy"
+
+
+def test_selector_recommend_all_and_safety_rate():
+    selector = FairnessAwareSelector(build_impacts())
+    recommendations = selector.recommend_all()
+    assert len(recommendations) == 2
+    assert selector.safety_rate() == 0.5
+
+
+def test_selector_empty_safety_rate_nan():
+    assert np.isnan(FairnessAwareSelector([]).safety_rate())

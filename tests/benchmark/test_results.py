@@ -1,0 +1,115 @@
+"""Tests for the resumable result store."""
+
+import pytest
+
+from repro.benchmark import ResultStore, RunRecord
+
+
+def make_record(repetition=0, repair="impute_mean_dummy", metrics=None):
+    return RunRecord(
+        dataset="german",
+        error_type="missing_values",
+        detection="missing_values",
+        repair=repair,
+        model="log_reg",
+        repetition=repetition,
+        tuning_seed=0,
+        metrics=metrics or {"dirty_test_acc": 0.7},
+    )
+
+
+def test_key_is_deterministic():
+    assert make_record().key == (
+        "german/missing_values/missing_values/impute_mean_dummy/log_reg/rep0/seed0"
+    )
+
+
+def test_add_and_get():
+    store = ResultStore()
+    record = make_record()
+    store.add(record)
+    assert store.get(record.key) == record
+    assert record.key in store
+    assert len(store) == 1
+
+
+def test_duplicate_key_rejected():
+    store = ResultStore()
+    store.add(make_record())
+    with pytest.raises(ValueError, match="duplicate"):
+        store.add(make_record())
+
+
+def test_get_unknown_key():
+    with pytest.raises(KeyError):
+        ResultStore().get("nope")
+
+
+def test_records_filtering():
+    store = ResultStore()
+    store.add(make_record(repetition=0))
+    store.add(make_record(repetition=1))
+    store.add(make_record(repetition=0, repair="impute_mode_mode"))
+    assert len(list(store.records(repair="impute_mean_dummy"))) == 2
+    assert len(list(store.records(repetition=1))) == 1
+    assert len(list(store.records())) == 3
+
+
+def test_records_unknown_filter():
+    with pytest.raises(ValueError, match="unknown filters"):
+        list(ResultStore().records(flavour="spicy"))
+
+
+def test_distinct():
+    store = ResultStore()
+    store.add(make_record(repetition=0))
+    store.add(make_record(repetition=1))
+    assert store.distinct("repetition") == [0, 1]
+
+
+def test_save_and_reload_roundtrip(tmp_path):
+    path = tmp_path / "results.json"
+    store = ResultStore(path)
+    store.add(make_record(metrics={"dirty_test_acc": 0.71, "nested": {"a": 1}}))
+    store.save()
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 1
+    record = reloaded.get(make_record().key)
+    assert record.metrics["dirty_test_acc"] == 0.71
+    assert record.metrics["nested"] == {"a": 1}
+
+
+def test_save_without_path_raises():
+    with pytest.raises(RuntimeError, match="path"):
+        ResultStore().save()
+
+
+def test_resume_skips_existing_keys(tmp_path):
+    path = tmp_path / "results.json"
+    store = ResultStore(path)
+    store.add(make_record())
+    store.save()
+    resumed = ResultStore(path)
+    assert make_record().key in resumed
+
+
+def test_stable_key_value_mapping_across_reload(tmp_path):
+    """The reproducibility property the paper fixed in CleanML: the
+    mapping between cleaning-technique keys and metric values must
+    survive persistence unchanged."""
+    path = tmp_path / "results.json"
+    store = ResultStore(path)
+    metrics = {
+        "impute_mean_dummy_test_acc": 0.7,
+        "impute_mode_mode_test_acc": 0.6,
+        "dirty_test_acc": 0.65,
+    }
+    store.add(make_record(metrics=metrics))
+    store.save()
+    reloaded = ResultStore(path).get(make_record().key)
+    assert reloaded.metrics == metrics
+
+
+def test_json_roundtrip_of_record():
+    record = make_record()
+    assert RunRecord.from_json(record.to_json()) == record

@@ -1,0 +1,139 @@
+"""Integration tests for the experiment runner (german, smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark import ExperimentRunner, ImpactAnalysis, ResultStore, StudyConfig
+from repro.benchmark.impact import fairness_value
+from repro.fairness.metrics import equal_opportunity
+
+
+@pytest.fixture(scope="module")
+def german_store():
+    store = ResultStore()
+    config = StudyConfig.smoke_scale()
+    runner = ExperimentRunner(config, store)
+    runner.run_dataset_error("german", "missing_values", models=("log_reg",))
+    runner.run_dataset_error("german", "outliers", models=("log_reg",))
+    runner.run_dataset_error("german", "mislabels", models=("log_reg",))
+    return store
+
+
+def test_expected_record_counts(german_store):
+    # 2 reps x 1 model x (6 MV repairs + 9 outlier combos + 1 mislabel)
+    assert len(list(german_store.records(error_type="missing_values"))) == 12
+    assert len(list(german_store.records(error_type="outliers"))) == 18
+    assert len(list(german_store.records(error_type="mislabels"))) == 2
+
+
+def test_records_contain_dirty_and_repair_metrics(german_store):
+    record = next(german_store.records(error_type="missing_values"))
+    assert "dirty_test_acc" in record.metrics
+    assert f"{record.repair}_test_acc" in record.metrics
+    assert "dirty_best_params" in record.metrics
+    assert f"{record.repair}_test_f1" in record.metrics
+
+
+def test_records_contain_group_confusions_for_all_specs(german_store):
+    record = next(german_store.records(error_type="missing_values"))
+    repair = record.repair
+    # single-attribute: age and sex; intersectional: sex x age
+    for fragment in ("age_priv", "age_dis", "sex_priv", "sex_dis",
+                     "sex_priv__age_priv", "sex_dis__age_dis"):
+        for cell in ("tn", "fp", "fn", "tp"):
+            assert f"dirty__{fragment}__{cell}" in record.metrics
+            assert f"{repair}__{fragment}__{cell}" in record.metrics
+
+
+def test_group_confusions_sum_to_group_sizes(german_store):
+    record = next(german_store.records(error_type="outliers"))
+    priv_total = sum(
+        record.metrics[f"dirty__sex_priv__{cell}"]
+        for cell in ("tn", "fp", "fn", "tp")
+    )
+    dis_total = sum(
+        record.metrics[f"dirty__sex_dis__{cell}"]
+        for cell in ("tn", "fp", "fn", "tp")
+    )
+    assert priv_total > 0 and dis_total > 0
+
+
+def test_accuracies_are_probabilities(german_store):
+    for record in german_store.records():
+        assert 0.0 <= record.metrics["dirty_test_acc"] <= 1.0
+        assert 0.0 <= record.metrics[f"{record.repair}_test_acc"] <= 1.0
+
+
+def test_outlier_detection_names(german_store):
+    detections = {r.detection for r in german_store.records(error_type="outliers")}
+    assert detections == {"outliers_sd", "outliers_iqr", "outliers_if"}
+
+
+def test_mislabel_repair_name(german_store):
+    record = next(german_store.records(error_type="mislabels"))
+    assert record.repair == "flip_labels"
+    assert record.detection == "cleanlab"
+
+
+def test_fairness_value_extraction(german_store):
+    record = next(german_store.records(error_type="missing_values"))
+    value = fairness_value(record, "dirty", "sex", equal_opportunity)
+    assert np.isnan(value) or -1.0 <= value <= 1.0
+
+
+def test_fairness_value_unknown_group_is_nan(german_store):
+    record = next(german_store.records(error_type="missing_values"))
+    assert np.isnan(fairness_value(record, "dirty", "ghost", equal_opportunity))
+
+
+def test_impact_analysis_configuration_counts(german_store):
+    analysis = ImpactAnalysis(german_store)
+    impacts = analysis.configuration_impacts(
+        "missing_values", "PP", intersectional=False
+    )
+    # 6 repairs x 1 model x 2 single-attribute groups
+    assert len(impacts) == 12
+    intersectional = analysis.configuration_impacts(
+        "missing_values", "PP", intersectional=True
+    )
+    assert len(intersectional) == 6
+    assert all(impact.intersectional for impact in intersectional)
+
+
+def test_impact_matrix_total_matches_configurations(german_store):
+    analysis = ImpactAnalysis(german_store)
+    matrix = analysis.matrix("outliers", "EO", intersectional=False)
+    # 9 combos x 1 model x 2 groups
+    assert matrix.total == 18
+
+
+def test_runner_resumes_without_duplicates(german_store):
+    config = StudyConfig.smoke_scale()
+    runner = ExperimentRunner(config, german_store)
+    added = runner.run_dataset_error("german", "missing_values", models=("log_reg",))
+    assert added == 0
+
+
+def test_runner_rejects_unknown_error_type():
+    runner = ExperimentRunner(StudyConfig.smoke_scale(), ResultStore())
+    with pytest.raises(ValueError, match="error type"):
+        runner.run_dataset_error("german", "typos")
+
+
+def test_heart_skips_missing_values():
+    runner = ExperimentRunner(StudyConfig.smoke_scale(), ResultStore())
+    assert runner.run_dataset_error("heart", "missing_values") == 0
+
+
+def test_runner_is_deterministic():
+    def run():
+        store = ResultStore()
+        runner = ExperimentRunner(StudyConfig.smoke_scale(), store)
+        runner.run_dataset_error("german", "mislabels", models=("log_reg",))
+        return store
+
+    a, b = run(), run()
+    keys = [record.key for record in a.records()]
+    assert keys == [record.key for record in b.records()]
+    for key in keys:
+        assert a.get(key).metrics == b.get(key).metrics

@@ -1,0 +1,85 @@
+"""Property-based tests for cleaning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import (
+    IqrOutlierDetector,
+    LabelFlipRepair,
+    MissingValueDetector,
+    MissingValueRepair,
+    SdOutlierDetector,
+)
+from repro.tabular import Table
+
+_numeric_values = st.one_of(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.just(float("nan")),
+)
+_categorical_values = st.one_of(st.sampled_from(["a", "b"]), st.none())
+
+
+@st.composite
+def dirty_tables(draw, min_rows=1, max_rows=40):
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    nums = draw(st.lists(_numeric_values, min_size=n, max_size=n))
+    cats = draw(st.lists(_categorical_values, min_size=n, max_size=n))
+    return Table.from_columns({"num": np.array(nums), "cat": cats})
+
+
+@given(dirty_tables())
+def test_imputation_removes_all_missingness(table):
+    repaired = MissingValueRepair().fit_transform(table)
+    assert not repaired.missing_mask().any()
+
+
+@given(dirty_tables())
+def test_imputation_preserves_observed_cells(table):
+    repaired = MissingValueRepair().fit_transform(table)
+    observed = ~table.is_missing("num")
+    assert np.array_equal(
+        repaired.column("num")[observed], table.column("num")[observed]
+    )
+
+
+@given(dirty_tables())
+def test_imputation_idempotent_property(table):
+    repair = MissingValueRepair()
+    once = repair.fit_transform(table)
+    assert repair.transform(once) == once
+
+
+@given(dirty_tables())
+def test_missing_detector_counts_match_table(table):
+    result = MissingValueDetector().detect(table)
+    assert result.n_flagged == int(table.missing_mask().sum())
+
+
+@given(dirty_tables(min_rows=2))
+@settings(max_examples=50)
+def test_outlier_detectors_never_flag_missing_cells(table):
+    for detector in (SdOutlierDetector(), IqrOutlierDetector()):
+        result = detector.detect(table)
+        missing = table.is_missing("num")
+        assert not (result.cell_masks["num"] & missing).any()
+
+
+@given(dirty_tables(min_rows=2))
+@settings(max_examples=50)
+def test_sd_flags_subset_of_rows(table):
+    result = SdOutlierDetector().detect(table)
+    assert result.row_mask.shape == (len(table),)
+    assert result.n_flagged <= len(table)
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=50),
+    st.lists(st.booleans(), min_size=1, max_size=50),
+)
+def test_label_flip_changes_exactly_masked(labels, mask):
+    n = min(len(labels), len(mask))
+    labels = np.array(labels[:n])
+    mask = np.array(mask[:n])
+    flipped = LabelFlipRepair().repair(labels, mask)
+    assert np.array_equal(flipped != labels, mask)

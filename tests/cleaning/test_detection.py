@@ -1,0 +1,143 @@
+"""Tests for error detectors."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    IqrOutlierDetector,
+    IsolationForestOutlierDetector,
+    MissingValueDetector,
+    SdOutlierDetector,
+)
+from repro.tabular import Table
+
+
+def test_missing_value_detector_flags_rows_with_any_null():
+    table = Table.from_columns(
+        {
+            "x": [1.0, np.nan, 3.0],
+            "c": ["a", "b", None],
+        }
+    )
+    result = MissingValueDetector().detect(table)
+    assert list(result.row_mask) == [False, True, True]
+    assert result.n_flagged == 2
+    assert list(result.cell_masks["x"]) == [False, True, False]
+    assert list(result.cell_masks["c"]) == [False, False, True]
+
+
+def test_missing_value_detector_clean_table():
+    table = Table.from_columns({"x": [1.0, 2.0]})
+    result = MissingValueDetector().detect(table)
+    assert result.n_flagged == 0
+    assert result.flagged_fraction() == 0.0
+
+
+def test_flagged_fraction_empty_table_is_nan():
+    table = Table.from_columns({"x": np.array([], dtype=float)})
+    assert np.isnan(MissingValueDetector().detect(table).flagged_fraction())
+
+
+def _normal_with_spike(n=200, spike=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.0, 1.0, n)
+    values[0] = spike
+    return values
+
+
+def test_sd_detector_flags_extreme_value():
+    table = Table.from_columns({"x": _normal_with_spike()})
+    result = SdOutlierDetector(n_std=3.0).detect(table)
+    assert result.row_mask[0]
+    assert result.cell_masks["x"][0]
+
+
+def test_sd_detector_ignores_constant_column():
+    table = Table.from_columns({"x": np.full(10, 5.0)})
+    assert SdOutlierDetector().detect(table).n_flagged == 0
+
+
+def test_sd_detector_never_flags_nan_cells():
+    values = _normal_with_spike()
+    values[5] = np.nan
+    table = Table.from_columns({"x": values})
+    result = SdOutlierDetector().detect(table)
+    assert not result.cell_masks["x"][5]
+
+
+def test_sd_detector_invalid_n_std():
+    with pytest.raises(ValueError):
+        SdOutlierDetector(n_std=0.0)
+
+
+def test_iqr_detector_flags_extreme_value():
+    table = Table.from_columns({"x": _normal_with_spike()})
+    result = IqrOutlierDetector(k=1.5).detect(table)
+    assert result.row_mask[0]
+
+
+def test_iqr_detector_flags_more_than_sd():
+    """The paper observes iqr flags far more tuples than the sd rule."""
+    rng = np.random.default_rng(1)
+    values = rng.standard_t(df=3, size=2000)  # heavy-tailed
+    table = Table.from_columns({"x": values})
+    n_iqr = IqrOutlierDetector().detect(table).n_flagged
+    n_sd = SdOutlierDetector().detect(table).n_flagged
+    assert n_iqr > n_sd
+
+
+def test_iqr_detector_interval_formula():
+    values = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+    table = Table.from_columns({"x": values})
+    result = IqrOutlierDetector(k=1.5).detect(table)
+    assert list(result.cell_masks["x"]) == [False, False, False, False, True]
+
+
+def test_iqr_detector_invalid_k():
+    with pytest.raises(ValueError):
+        IqrOutlierDetector(k=-1.0)
+
+
+def test_if_detector_flags_multivariate_outlier():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=400)
+    y = x + rng.normal(scale=0.1, size=400)
+    # a point inlying marginally but outlying jointly
+    x[0], y[0] = 2.0, -2.0
+    table = Table.from_columns({"x": x, "y": y})
+    result = IsolationForestOutlierDetector(
+        contamination=0.01, random_state=0
+    ).detect(table)
+    assert result.row_mask[0]
+
+
+def test_if_detector_skips_rows_with_missing_numerics():
+    rng = np.random.default_rng(3)
+    values = rng.normal(size=100)
+    values[7] = np.nan
+    table = Table.from_columns({"x": values, "y": rng.normal(size=100)})
+    result = IsolationForestOutlierDetector(random_state=0).detect(table)
+    assert not result.row_mask[7]
+    assert not result.cell_masks["x"][7]
+
+
+def test_if_detector_no_numeric_columns():
+    table = Table.from_columns({"c": ["a", "b", "c"]})
+    result = IsolationForestOutlierDetector().detect(table)
+    assert result.n_flagged == 0
+
+
+def test_detectors_only_inspect_numeric_columns():
+    table = Table.from_columns(
+        {"x": _normal_with_spike(), "c": ["a"] * 200}
+    )
+    for detector in (SdOutlierDetector(), IqrOutlierDetector()):
+        result = detector.detect(table)
+        assert "c" not in result.cell_masks
+
+
+def test_detector_names():
+    assert MissingValueDetector().name == "missing_values"
+    assert SdOutlierDetector().name == "outliers_sd"
+    assert IqrOutlierDetector().name == "outliers_iqr"
+    assert IsolationForestOutlierDetector().name == "outliers_if"

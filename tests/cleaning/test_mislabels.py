@@ -1,0 +1,86 @@
+"""Tests for confident-learning mislabel detection."""
+
+import numpy as np
+
+from repro.cleaning import ConfidentLearningDetector
+
+
+def make_noisy_data(n=400, flip=20, seed=0):
+    """Separable blobs with `flip` labels flipped."""
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, size=(n // 2, 2))
+    X1 = rng.normal(4.0, 1.0, size=(n // 2, 2))
+    X = np.vstack([X0, X1])
+    y_true = np.concatenate([np.zeros(n // 2), np.ones(n // 2)]).astype(int)
+    flipped = rng.choice(n, size=flip, replace=False)
+    y_noisy = y_true.copy()
+    y_noisy[flipped] = 1 - y_noisy[flipped]
+    return X, y_true, y_noisy, flipped
+
+
+def test_detects_majority_of_planted_flips():
+    X, __, y_noisy, flipped = make_noisy_data()
+    result = ConfidentLearningDetector(random_state=0).detect(X, y_noisy)
+    found = np.nonzero(result.row_mask)[0]
+    recall = len(set(found) & set(flipped)) / len(flipped)
+    assert recall > 0.7
+
+
+def test_flag_precision_reasonable():
+    X, __, y_noisy, flipped = make_noisy_data()
+    result = ConfidentLearningDetector(random_state=0).detect(X, y_noisy)
+    found = np.nonzero(result.row_mask)[0]
+    assert len(found) > 0
+    precision = len(set(found) & set(flipped)) / len(found)
+    assert precision > 0.6
+
+
+def test_clean_data_has_few_flags():
+    X, y_true, __, __ = make_noisy_data(flip=0)
+    result = ConfidentLearningDetector(random_state=0).detect(X, y_true)
+    assert result.n_flagged <= 0.03 * len(y_true)
+
+
+def test_confident_joint_diagonal_dominant_on_mostly_clean_data():
+    X, __, y_noisy, __ = make_noisy_data()
+    result = ConfidentLearningDetector(random_state=0).detect(X, y_noisy)
+    joint = result.confident_joint
+    assert joint[0, 0] > joint[0, 1]
+    assert joint[1, 1] > joint[1, 0]
+
+
+def test_fp_fn_partition_of_flags():
+    X, __, y_noisy, __ = make_noisy_data()
+    result = ConfidentLearningDetector(random_state=0).detect(X, y_noisy)
+    fp = result.predicted_false_positives(y_noisy)
+    fn = result.predicted_false_negatives(y_noisy)
+    assert not (fp & fn).any()
+    assert np.array_equal(fp | fn, result.row_mask)
+
+
+def test_single_class_labels_yield_no_flags():
+    X = np.random.default_rng(0).normal(size=(50, 2))
+    labels = np.ones(50, dtype=int)
+    result = ConfidentLearningDetector().detect(X, labels)
+    assert result.n_flagged == 0
+
+
+def test_deterministic_under_seed():
+    X, __, y_noisy, __ = make_noisy_data()
+    a = ConfidentLearningDetector(random_state=4).detect(X, y_noisy)
+    b = ConfidentLearningDetector(random_state=4).detect(X, y_noisy)
+    assert np.array_equal(a.row_mask, b.row_mask)
+
+
+def test_length_mismatch_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="mismatch"):
+        ConfidentLearningDetector().detect(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_thresholds_are_probabilities():
+    X, __, y_noisy, __ = make_noisy_data()
+    result = ConfidentLearningDetector(random_state=0).detect(X, y_noisy)
+    assert 0.0 <= result.thresholds[0] <= 1.0
+    assert 0.0 <= result.thresholds[1] <= 1.0

@@ -1,0 +1,198 @@
+"""Tests for repair methods."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    CategoricalImputation,
+    IqrOutlierDetector,
+    LabelFlipRepair,
+    MissingValueRepair,
+    NumericImputation,
+    OutlierRepair,
+)
+from repro.cleaning.repair import DUMMY_VALUE
+from repro.cleaning.strategies import (
+    MISSING_VALUE_REPAIRS,
+    OUTLIER_REPAIRS,
+    missing_value_repairs,
+    outlier_detectors,
+    outlier_repairs,
+)
+from repro.tabular import Table
+
+
+def dirty_table():
+    return Table.from_columns(
+        {
+            "x": [1.0, 2.0, np.nan, 3.0],
+            "c": ["a", None, "a", "b"],
+        }
+    )
+
+
+def test_mean_imputation():
+    repaired = MissingValueRepair(numeric=NumericImputation.MEAN).fit_transform(
+        dirty_table()
+    )
+    assert repaired.column("x")[2] == pytest.approx(2.0)
+
+
+def test_median_imputation():
+    table = Table.from_columns({"x": [1.0, 2.0, np.nan, 100.0]})
+    repaired = MissingValueRepair(numeric=NumericImputation.MEDIAN).fit_transform(table)
+    assert repaired.column("x")[2] == pytest.approx(2.0)
+
+
+def test_mode_imputation_numeric():
+    table = Table.from_columns({"x": [5.0, 5.0, 1.0, np.nan]})
+    repaired = MissingValueRepair(numeric=NumericImputation.MODE).fit_transform(table)
+    assert repaired.column("x")[3] == 5.0
+
+
+def test_dummy_imputation_categorical():
+    repaired = MissingValueRepair(
+        categorical=CategoricalImputation.DUMMY
+    ).fit_transform(dirty_table())
+    assert repaired.column("c")[1] == DUMMY_VALUE
+
+
+def test_mode_imputation_categorical():
+    repaired = MissingValueRepair(
+        categorical=CategoricalImputation.MODE
+    ).fit_transform(dirty_table())
+    assert repaired.column("c")[1] == "a"
+
+
+def test_imputation_leaves_observed_values_untouched():
+    repaired = MissingValueRepair().fit_transform(dirty_table())
+    assert repaired.column("x")[0] == 1.0
+    assert repaired.column("c")[3] == "b"
+
+
+def test_imputation_removes_all_missingness():
+    repaired = MissingValueRepair().fit_transform(dirty_table())
+    assert not repaired.missing_mask().any()
+
+
+def test_imputation_statistics_fitted_on_train_applied_to_test():
+    train = Table.from_columns({"x": [10.0, 10.0, 10.0], "c": ["z", "z", "z"]})
+    test = Table.from_columns({"x": [np.nan], "c": [None]})
+    repair = MissingValueRepair(
+        numeric=NumericImputation.MEAN, categorical=CategoricalImputation.MODE
+    ).fit(train)
+    repaired = repair.transform(test)
+    assert repaired.column("x")[0] == 10.0
+    assert repaired.column("c")[0] == "z"
+
+
+def test_imputation_all_missing_column_fills_zero():
+    table = Table.from_columns({"x": [np.nan, np.nan]})
+    repaired = MissingValueRepair().fit_transform(table)
+    assert np.array_equal(repaired.column("x"), [0.0, 0.0])
+
+
+def test_imputation_idempotent():
+    repair = MissingValueRepair()
+    once = repair.fit_transform(dirty_table())
+    twice = repair.transform(once)
+    assert once == twice
+
+
+def test_imputation_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        MissingValueRepair().transform(dirty_table())
+
+
+def test_missing_value_repair_names():
+    names = set(MISSING_VALUE_REPAIRS)
+    assert names == {
+        "impute_mean_mode",
+        "impute_mean_dummy",
+        "impute_median_mode",
+        "impute_median_dummy",
+        "impute_mode_mode",
+        "impute_mode_dummy",
+    }
+
+
+def outlier_table():
+    values = np.concatenate([np.full(20, 1.0), [1000.0]])
+    return Table.from_columns({"x": values})
+
+
+def test_outlier_repair_replaces_flagged_cells():
+    table = outlier_table()
+    detection = IqrOutlierDetector().detect(table)
+    repaired = OutlierRepair(NumericImputation.MEAN).fit_transform(table, detection)
+    assert repaired.column("x")[-1] == pytest.approx(1.0)
+
+
+def test_outlier_repair_statistic_excludes_flagged_values():
+    table = outlier_table()
+    detection = IqrOutlierDetector().detect(table)
+    repaired = OutlierRepair(NumericImputation.MEAN).fit_transform(table, detection)
+    # mean of clean values is exactly 1.0, not pulled up by the outlier
+    assert repaired.column("x")[-1] == 1.0
+
+
+def test_outlier_repair_leaves_clean_cells():
+    table = outlier_table()
+    detection = IqrOutlierDetector().detect(table)
+    repaired = OutlierRepair().fit_transform(table, detection)
+    assert np.array_equal(repaired.column("x")[:20], table.column("x")[:20])
+
+
+def test_outlier_repair_row_count_mismatch():
+    table = outlier_table()
+    detection = IqrOutlierDetector().detect(table)
+    other = Table.from_columns({"x": [1.0, 2.0]})
+    repair = OutlierRepair().fit(table, detection)
+    with pytest.raises(ValueError, match="rows"):
+        repair.transform(other, detection.__class__(
+            strategy="outliers_iqr",
+            row_mask=np.zeros(5, dtype=bool),
+        ))
+
+
+def test_outlier_repair_unfitted_raises():
+    table = outlier_table()
+    detection = IqrOutlierDetector().detect(table)
+    with pytest.raises(RuntimeError):
+        OutlierRepair().transform(table, detection)
+
+
+def test_outlier_repair_names():
+    assert set(OUTLIER_REPAIRS) == {
+        "repair_outliers_mean",
+        "repair_outliers_median",
+        "repair_outliers_mode",
+    }
+
+
+def test_strategy_registries_return_fresh_instances():
+    a = missing_value_repairs()
+    b = missing_value_repairs()
+    assert a["impute_mean_dummy"] is not b["impute_mean_dummy"]
+    assert set(outlier_detectors()) == {"outliers_sd", "outliers_iqr", "outliers_if"}
+    assert len(outlier_repairs()) == 3
+
+
+def test_label_flip_repair():
+    labels = np.array([0, 1, 1, 0])
+    mask = np.array([True, False, True, False])
+    flipped = LabelFlipRepair().repair(labels, mask)
+    assert list(flipped) == [1, 1, 0, 0]
+    assert list(labels) == [0, 1, 1, 0]  # input untouched
+
+
+def test_label_flip_shape_mismatch():
+    with pytest.raises(ValueError):
+        LabelFlipRepair().repair(np.array([0, 1]), np.array([True]))
+
+
+def test_label_flip_involution():
+    labels = np.array([0, 1, 1, 0, 1])
+    mask = np.array([True, True, False, False, True])
+    repair = LabelFlipRepair()
+    assert np.array_equal(repair.repair(repair.repair(labels, mask), mask), labels)

@@ -1,0 +1,96 @@
+"""Tests for declarative dataset definitions."""
+
+import pytest
+
+from repro.datasets import DatasetDefinition, dataset_definition
+from repro.fairness.groups import Comparison, GroupPredicate
+from repro.tabular import Table
+
+
+def tiny_generator(n_rows, seed):
+    return Table.from_columns(
+        {
+            "x": [1.0] * n_rows,
+            "sex": ["male"] * n_rows,
+            "label": [1.0] * n_rows,
+        }
+    )
+
+
+def make_definition(**overrides):
+    defaults = dict(
+        name="tiny",
+        source_domain="test",
+        generator=tiny_generator,
+        default_n_rows=10,
+        label="label",
+        error_types=("missing_values",),
+        drop_variables=("sex",),
+        privileged_groups=(GroupPredicate("sex", Comparison.EQ, "male"),),
+    )
+    defaults.update(overrides)
+    return DatasetDefinition(**defaults)
+
+
+def test_generate_default_size():
+    assert make_definition().generate().n_rows == 10
+
+
+def test_generate_custom_size():
+    assert make_definition().generate(n_rows=3).n_rows == 3
+
+
+def test_generate_invalid_size():
+    with pytest.raises(ValueError):
+        make_definition().generate(n_rows=0)
+
+
+def test_unknown_error_type_rejected():
+    with pytest.raises(ValueError, match="error types"):
+        make_definition(error_types=("typos",))
+
+
+def test_unsupported_task_rejected():
+    with pytest.raises(ValueError, match="ml_task"):
+        make_definition(ml_task="regression")
+
+
+def test_requires_privileged_group():
+    with pytest.raises(ValueError, match="privileged"):
+        make_definition(privileged_groups=())
+
+
+def test_intersectional_pair_out_of_range():
+    with pytest.raises(ValueError, match="out of range"):
+        make_definition(intersectional_pairs=((0, 1),))
+
+
+def test_group_specs_derived():
+    definition = make_definition()
+    assert definition.group_specs[0].attribute == "sex"
+    assert definition.sensitive_attributes == ("sex",)
+
+
+def test_feature_columns_hide_label_and_drops():
+    definition = make_definition()
+    table = definition.generate(n_rows=2)
+    assert definition.feature_columns(table) == ("x",)
+
+
+def test_validate_table_missing_label():
+    definition = make_definition()
+    bad = Table.from_columns({"x": [1.0], "sex": ["male"]})
+    with pytest.raises(ValueError, match="label"):
+        definition.validate_table(bad)
+
+
+def test_validate_table_missing_sensitive_attribute():
+    definition = make_definition()
+    bad = Table.from_columns({"x": [1.0], "label": [1.0]})
+    with pytest.raises(ValueError, match="sensitive"):
+        definition.validate_table(bad)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="available"):
+        dataset_definition("nope")

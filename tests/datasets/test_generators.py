@@ -1,0 +1,172 @@
+"""Tests for the five synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    ConfidentLearningDetector,
+    IqrOutlierDetector,
+    MissingValueDetector,
+    MissingValueRepair,
+)
+from repro.datasets import DATASET_NAMES, dataset_definition, load_dataset
+from repro.ml import LogisticRegressionClassifier, TabularFeaturizer
+from repro.ml.metrics import accuracy_score
+
+N = 2500
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {name: load_dataset(name, n_rows=N, seed=7) for name in DATASET_NAMES}
+
+
+def test_registry_contains_the_papers_five_datasets():
+    assert set(DATASET_NAMES) == {"adult", "folk", "credit", "german", "heart"}
+
+
+def test_table1_metadata():
+    expectations = {
+        "adult": ("census", 48_844, ("sex", "race")),
+        "folk": ("census", 378_817, ("sex", "race")),
+        "credit": ("finance", 150_000, ("age",)),
+        "german": ("finance", 1_000, ("age", "sex")),
+        "heart": ("healthcare", 70_000, ("sex", "age")),
+    }
+    for name, (domain, n_rows, sensitive) in expectations.items():
+        definition = dataset_definition(name)
+        assert definition.source_domain == domain
+        assert definition.default_n_rows == n_rows
+        assert definition.sensitive_attributes == sensitive
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german", "heart"])
+def test_generated_size_and_schema(tables, name):
+    definition, table = tables[name]
+    assert table.n_rows == N
+    definition.validate_table(table)
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german", "heart"])
+def test_labels_are_binary(tables, name):
+    definition, table = tables[name]
+    labels = table.column(definition.label)
+    assert set(np.unique(labels)) <= {0.0, 1.0}
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german", "heart"])
+def test_positive_class_is_majority_or_substantial(tables, name):
+    definition, table = tables[name]
+    rate = table.column(definition.label).mean()
+    assert 0.2 < rate < 0.95
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german", "heart"])
+def test_deterministic_under_seed(name):
+    a = load_dataset(name, n_rows=200, seed=3)[1]
+    b = load_dataset(name, n_rows=200, seed=3)[1]
+    assert a == b
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german", "heart"])
+def test_different_seeds_differ(name):
+    a = load_dataset(name, n_rows=200, seed=3)[1]
+    b = load_dataset(name, n_rows=200, seed=4)[1]
+    assert a != b
+
+
+def test_heart_has_no_missing_values(tables):
+    __, table = tables["heart"]
+    assert not table.missing_mask().any()
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german"])
+def test_other_datasets_have_missing_values(tables, name):
+    __, table = tables[name]
+    assert MissingValueDetector().detect(table).n_flagged > 0
+
+
+def test_folk_structural_missingness_for_minors(tables):
+    __, table = tables["folk"]
+    minors = table.column("AGEP") < 18
+    assert minors.any()
+    occp_missing = table.is_missing("OCCP")
+    assert occp_missing[minors].all()
+
+
+def test_adult_missingness_skews_disadvantaged(tables):
+    definition, table = tables["adult"]
+    missing = table.missing_mask()
+    race_spec = definition.group_specs[1]
+    privileged_rate = missing[race_spec.privileged_mask(table)].mean()
+    disadvantaged_rate = missing[race_spec.disadvantaged_mask(table)].mean()
+    assert disadvantaged_rate > privileged_rate
+
+
+def test_german_missingness_skews_privileged(tables):
+    definition, table = tables["german"]
+    missing = table.missing_mask()
+    age_spec = definition.group_specs[0]
+    privileged_rate = missing[age_spec.privileged_mask(table)].mean()
+    disadvantaged_rate = missing[age_spec.disadvantaged_mask(table)].mean()
+    assert privileged_rate > disadvantaged_rate
+
+
+@pytest.mark.parametrize("name", ["adult", "credit", "heart"])
+def test_datasets_contain_numeric_outliers(tables, name):
+    __, table = tables[name]
+    assert IqrOutlierDetector().detect(table).n_flagged > 0
+
+
+def test_german_sex_derived_from_personal_status(tables):
+    __, table = tables["german"]
+    status = table.column("personal_status")
+    sex = table.column("sex")
+    for status_value, sex_value in zip(status, sex):
+        assert status_value.startswith(sex_value)
+
+
+def test_heart_blood_pressure_entry_errors_present(tables):
+    __, table = tables["heart"]
+    ap_hi = table.column("ap_hi")
+    assert (ap_hi > 400).any() or (ap_hi < 0).any()
+
+
+def test_credit_sentinel_codes_present():
+    __, table = load_dataset("credit", n_rows=20_000, seed=1)
+    past_due = table.column("past_due_30_59")
+    assert (past_due > 90).any()
+
+
+@pytest.mark.parametrize("name", ["adult", "folk", "credit", "german", "heart"])
+def test_models_beat_base_rate(tables, name):
+    definition, table = tables[name]
+    clean = MissingValueRepair().fit_transform(table)
+    X = TabularFeaturizer(
+        feature_columns=definition.feature_columns(clean)
+    ).fit_transform(clean)
+    y = table.column(definition.label).astype(int)
+    model = LogisticRegressionClassifier(C=1.0).fit(X, y)
+    accuracy = accuracy_score(y, model.predict(X))
+    base_rate = max(y.mean(), 1 - y.mean())
+    assert accuracy > base_rate + 0.02
+
+
+def test_label_noise_is_detectable(tables):
+    definition, table = tables["german"]
+    clean = MissingValueRepair().fit_transform(table)
+    X = TabularFeaturizer(
+        feature_columns=definition.feature_columns(clean)
+    ).fit_transform(clean)
+    y = table.column(definition.label).astype(int)
+    result = ConfidentLearningDetector(random_state=0).detect(X, y)
+    assert 0 < result.n_flagged < 0.3 * len(y)
+
+
+def test_sensitive_attributes_are_dropped_from_features(tables):
+    for name in DATASET_NAMES:
+        definition, table = tables[name]
+        features = definition.feature_columns(table)
+        for sensitive in definition.sensitive_attributes:
+            assert sensitive not in features
+        assert definition.label not in features

@@ -1,0 +1,102 @@
+"""Tests for the shared synthetic-generation building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic as syn
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_sigmoid_range_and_symmetry():
+    z = np.linspace(-50, 50, 101)
+    p = syn.sigmoid(z)
+    assert ((p >= 0) & (p <= 1)).all()
+    assert np.allclose(p + syn.sigmoid(-z), 1.0)
+    assert syn.sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+def test_sigmoid_extreme_values_stable():
+    p = syn.sigmoid(np.array([-1000.0, 1000.0]))
+    assert p[0] == pytest.approx(0.0)
+    assert p[1] == pytest.approx(1.0)
+
+
+def test_categorical_respects_probabilities():
+    values = syn.categorical(rng(), 20_000, ["a", "b"], [0.8, 0.2])
+    share_a = np.mean([v == "a" for v in values])
+    assert 0.77 < share_a < 0.83
+
+
+def test_categorical_normalises_weights():
+    values = syn.categorical(rng(), 1_000, ["a", "b"], [8, 2])
+    assert set(values) == {"a", "b"}
+
+
+def test_clipped_normal_bounds():
+    values = syn.clipped_normal(rng(), 10_000, 0.0, 100.0, -5.0, 5.0)
+    assert values.min() >= -5.0
+    assert values.max() <= 5.0
+
+
+def test_lognormal_positive():
+    assert (syn.lognormal(rng(), 1_000, 0.0, 1.0) > 0).all()
+
+
+def test_zero_inflated_lognormal_zero_fraction():
+    values = syn.zero_inflated_lognormal(rng(), 20_000, 0.9, 5.0, 1.0)
+    zero_share = np.mean(values == 0.0)
+    assert 0.88 < zero_share < 0.92
+    assert (values >= 0).all()
+
+
+def test_inject_missing_numeric_rate():
+    values = syn.inject_missing_numeric(rng(), np.ones(20_000), 0.25)
+    assert 0.22 < np.isnan(values).mean() < 0.28
+
+
+def test_inject_missing_numeric_does_not_mutate_input():
+    original = np.ones(100)
+    syn.inject_missing_numeric(rng(), original, 0.5)
+    assert not np.isnan(original).any()
+
+
+def test_inject_missing_categorical_per_row_probability():
+    values = np.array(["x"] * 10_000, dtype=object)
+    probability = np.zeros(10_000)
+    probability[:5_000] = 1.0
+    result = syn.inject_missing_categorical(rng(), values, probability)
+    assert all(value is None for value in result[:5_000])
+    assert all(value == "x" for value in result[5_000:])
+
+
+def test_flip_labels_rate():
+    labels = np.zeros(20_000, dtype=int)
+    flipped = syn.flip_labels(rng(), labels, 0.1)
+    assert 0.08 < flipped.mean() < 0.12
+
+
+def test_flip_labels_does_not_mutate_input():
+    labels = np.zeros(100, dtype=int)
+    syn.flip_labels(rng(), labels, 1.0)
+    assert labels.sum() == 0
+
+
+def test_sentinel_spike():
+    values = syn.sentinel_spike(rng(), np.zeros(50_000), 99.0, 0.01)
+    spike_share = np.mean(values == 99.0)
+    assert 0.007 < spike_share < 0.013
+
+
+def test_group_dependent_probability():
+    in_group = np.array([True, False, True])
+    probability = syn.group_dependent_probability(0.1, 3.0, in_group)
+    assert list(probability) == [pytest.approx(0.3), pytest.approx(0.1),
+                                 pytest.approx(0.3)]
+
+
+def test_group_dependent_probability_clipped():
+    probability = syn.group_dependent_probability(0.9, 3.0, np.array([True]))
+    assert probability[0] == 1.0

@@ -1,0 +1,56 @@
+"""Tests for the extended fairness-metric registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fairness.metrics import ALL_FAIRNESS_METRICS, FAIRNESS_METRICS
+from repro.ml.metrics import ConfusionMatrix
+
+_counts = st.integers(min_value=0, max_value=500)
+
+
+@st.composite
+def confusion_matrices(draw):
+    return ConfusionMatrix(
+        tn=draw(_counts), fp=draw(_counts), fn=draw(_counts), tp=draw(_counts)
+    )
+
+
+def test_paper_metrics_are_subset_of_registry():
+    assert set(FAIRNESS_METRICS) <= set(ALL_FAIRNESS_METRICS)
+    assert set(FAIRNESS_METRICS) == {"PP", "EO"}
+
+
+def test_registry_contains_followup_metrics():
+    assert {"DP", "FPRP", "EOdds", "AP"} <= set(ALL_FAIRNESS_METRICS)
+
+
+@given(confusion_matrices())
+def test_all_metrics_zero_on_self(cm):
+    for name, metric in ALL_FAIRNESS_METRICS.items():
+        value = metric(cm, cm)
+        assert np.isnan(value) or value == pytest.approx(0.0), name
+
+
+@given(confusion_matrices(), confusion_matrices())
+def test_all_metrics_bounded_by_one(a, b):
+    for name, metric in ALL_FAIRNESS_METRICS.items():
+        value = metric(a, b)
+        assert np.isnan(value) or -1.0 <= value <= 1.0, name
+
+
+@given(confusion_matrices(), confusion_matrices())
+def test_equalized_odds_dominates_components(a, b):
+    from repro.fairness.metrics import (
+        equal_opportunity,
+        equalized_odds,
+        false_positive_rate_parity,
+    )
+
+    eo = equal_opportunity(a, b)
+    fpr = false_positive_rate_parity(a, b)
+    eodds = equalized_odds(a, b)
+    if not (np.isnan(eo) or np.isnan(fpr)):
+        assert abs(eodds) == pytest.approx(max(abs(eo), abs(fpr)))

@@ -1,0 +1,100 @@
+"""Tests for group predicates and specs."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import Comparison, GroupPredicate, GroupSpec, IntersectionalSpec
+from repro.tabular import Table
+
+
+def make_table():
+    return Table.from_columns(
+        {
+            "sex": ["male", "female", "male", "female", None],
+            "age": [30.0, 22.0, 55.0, 40.0, np.nan],
+            "race": ["white", "black", "black", "white", "white"],
+        }
+    )
+
+
+SEX = GroupSpec("sex", GroupPredicate("sex", Comparison.EQ, "male"))
+AGE = GroupSpec("age", GroupPredicate("age", Comparison.GT, 25))
+
+
+def test_categorical_eq_predicate():
+    mask = SEX.privileged_mask(make_table())
+    assert list(mask) == [True, False, True, False, False]
+
+
+def test_numeric_gt_predicate():
+    mask = AGE.privileged_mask(make_table())
+    assert list(mask) == [True, False, True, True, False]
+
+
+def test_disadvantaged_excludes_missing():
+    mask = SEX.disadvantaged_mask(make_table())
+    # the None row belongs to neither group
+    assert list(mask) == [False, True, False, True, False]
+
+
+def test_numeric_missing_in_neither_group():
+    table = make_table()
+    privileged = AGE.privileged_mask(table)
+    disadvantaged = AGE.disadvantaged_mask(table)
+    assert not privileged[4] and not disadvantaged[4]
+
+
+def test_all_numeric_comparisons():
+    table = Table.from_columns({"v": [1.0, 2.0, 3.0]})
+    cases = {
+        Comparison.EQ: [False, True, False],
+        Comparison.GT: [False, False, True],
+        Comparison.GE: [False, True, True],
+        Comparison.LT: [True, False, False],
+        Comparison.LE: [True, True, False],
+    }
+    for comparison, expected in cases.items():
+        mask = GroupPredicate("v", comparison, 2).evaluate(table)
+        assert list(mask) == expected, comparison
+
+
+def test_categorical_non_eq_rejected():
+    with pytest.raises(ValueError, match="EQ"):
+        GroupPredicate("sex", Comparison.GT, "male").evaluate(make_table())
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(KeyError, match="sensitive attribute"):
+        GroupPredicate("ghost", Comparison.EQ, "x").evaluate(make_table())
+
+
+def test_single_attribute_partition_among_defined():
+    table = make_table()
+    privileged = SEX.privileged_mask(table)
+    disadvantaged = SEX.disadvantaged_mask(table)
+    defined = SEX.privileged.defined(table)
+    assert not (privileged & disadvantaged).any()
+    assert np.array_equal(privileged | disadvantaged, defined)
+
+
+def test_intersectional_masks():
+    spec = IntersectionalSpec(SEX, AGE)
+    table = make_table()
+    privileged = spec.privileged_mask(table)
+    disadvantaged = spec.disadvantaged_mask(table)
+    # male & >25: rows 0, 2; female & <=25: row 1
+    assert list(privileged) == [True, False, True, False, False]
+    assert list(disadvantaged) == [False, True, False, False, False]
+
+
+def test_intersectional_excludes_mixed_tuples():
+    spec = IntersectionalSpec(SEX, AGE)
+    table = make_table()
+    # row 3 is female (disadvantaged) but >25 (privileged) -> excluded
+    in_either = spec.privileged_mask(table) | spec.disadvantaged_mask(table)
+    assert not in_either[3]
+
+
+def test_keys():
+    assert SEX.key == "sex"
+    assert IntersectionalSpec(SEX, AGE).key == "sex_x_age"

@@ -1,0 +1,139 @@
+"""Tests for scalers, encoders and the featurizer."""
+
+import numpy as np
+import pytest
+
+from repro.ml import OneHotEncoder, StandardScaler, TabularFeaturizer
+from repro.tabular import Table
+
+
+def test_scaler_zero_mean_unit_variance():
+    X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+    Z = StandardScaler().fit_transform(X)
+    assert np.allclose(Z.mean(axis=0), 0.0)
+    assert np.allclose(Z.std(axis=0), 1.0)
+
+
+def test_scaler_constant_column_not_divided_by_zero():
+    X = np.array([[2.0], [2.0], [2.0]])
+    Z = StandardScaler().fit_transform(X)
+    assert np.allclose(Z, 0.0)
+
+
+def test_scaler_transform_uses_fit_statistics():
+    scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+    assert np.allclose(scaler.transform(np.array([[5.0]])), [[0.0]])
+
+
+def test_scaler_feature_count_mismatch():
+    scaler = StandardScaler().fit(np.zeros((3, 2)))
+    with pytest.raises(ValueError, match="features"):
+        scaler.transform(np.zeros((3, 3)))
+
+
+def test_scaler_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(np.zeros((1, 1)))
+
+
+def _object_array(values):
+    arr = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        arr[i] = value
+    return arr
+
+
+def test_one_hot_basic():
+    encoder = OneHotEncoder()
+    block = encoder.fit_transform([_object_array(["a", "b", "a"])])
+    assert block.shape == (3, 2)
+    assert np.array_equal(block[:, 0], [1.0, 0.0, 1.0])
+
+
+def test_one_hot_unseen_category_all_zeros():
+    encoder = OneHotEncoder().fit([_object_array(["a", "b"])])
+    block = encoder.transform([_object_array(["c"])])
+    assert np.array_equal(block, [[0.0, 0.0]])
+
+
+def test_one_hot_missing_gets_indicator_when_seen_at_fit():
+    encoder = OneHotEncoder().fit([_object_array(["a", None])])
+    block = encoder.transform([_object_array([None, "a"])])
+    assert block.shape == (2, 2)
+    assert block[0, 1] == 1.0  # None column is last
+    assert block[1, 0] == 1.0
+
+
+def test_one_hot_missing_unseen_at_fit_all_zeros():
+    encoder = OneHotEncoder().fit([_object_array(["a", "b"])])
+    block = encoder.transform([_object_array([None])])
+    assert np.array_equal(block, [[0.0, 0.0]])
+
+
+def test_one_hot_multiple_columns_width():
+    encoder = OneHotEncoder().fit(
+        [_object_array(["a", "b"]), _object_array(["x", "y", "x"][:2])]
+    )
+    assert encoder.n_output_features == 4
+
+
+def test_one_hot_column_count_mismatch():
+    encoder = OneHotEncoder().fit([_object_array(["a"])])
+    with pytest.raises(ValueError, match="columns"):
+        encoder.transform([_object_array(["a"]), _object_array(["b"])])
+
+
+def _table():
+    return Table.from_columns(
+        {
+            "age": [20.0, 30.0, 40.0, 50.0],
+            "sex": ["m", "f", "m", "f"],
+            "city": ["ams", "nyc", "ams", "ams"],
+        }
+    )
+
+
+def test_featurizer_width():
+    featurizer = TabularFeaturizer()
+    X = featurizer.fit_transform(_table())
+    # 1 numeric + 2 (sex) + 2 (city)
+    assert X.shape == (4, 5)
+    assert featurizer.n_output_features == 5
+
+
+def test_featurizer_respects_feature_columns():
+    featurizer = TabularFeaturizer(feature_columns=("age",))
+    X = featurizer.fit_transform(_table())
+    assert X.shape == (4, 1)
+
+
+def test_featurizer_unknown_feature_column():
+    with pytest.raises(KeyError):
+        TabularFeaturizer(feature_columns=("ghost",)).fit(_table())
+
+
+def test_featurizer_rejects_nan_numeric():
+    table = Table.from_columns({"x": [1.0, np.nan]})
+    with pytest.raises(ValueError, match="NaN"):
+        TabularFeaturizer().fit(table)
+
+
+def test_featurizer_numeric_standardised():
+    X = TabularFeaturizer(feature_columns=("age",)).fit_transform(_table())
+    assert np.allclose(X.mean(axis=0), 0.0)
+
+
+def test_featurizer_transform_on_new_table():
+    featurizer = TabularFeaturizer().fit(_table())
+    other = Table.from_columns(
+        {"age": [35.0], "sex": ["m"], "city": ["paris"]}
+    )
+    X = featurizer.transform(other)
+    assert X.shape == (1, 5)
+    # unseen city encodes as zeros in the city block
+    assert np.array_equal(X[0, 3:], [0.0, 0.0])
+
+
+def test_featurizer_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        TabularFeaturizer().transform(_table())

@@ -1,0 +1,94 @@
+"""Tests for the regression tree core."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeRegressor
+
+
+def test_single_leaf_predicts_mean():
+    X = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([1.0, 2.0, 6.0])
+    model = DecisionTreeRegressor(max_depth=0).fit(X, y)
+    assert np.allclose(model.predict(X), 3.0)
+
+
+def test_perfect_step_function_fit():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0.0, 0.0, 10.0, 10.0])
+    model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+    assert np.allclose(model.predict(X), y)
+
+
+def test_depth_limit_respected():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = rng.normal(size=200)
+    model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+    assert model.depth() <= 2
+
+
+def test_min_samples_leaf():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0.0, 0.0, 0.0, 100.0])
+    model = DecisionTreeRegressor(max_depth=3, min_samples_leaf=2).fit(X, y)
+    # the lone extreme point cannot be isolated in its own leaf
+    predictions = model.predict(X)
+    assert predictions[3] < 100.0
+
+
+def test_constant_features_yield_single_leaf():
+    X = np.ones((10, 2))
+    y = np.arange(10, dtype=float)
+    model = DecisionTreeRegressor(max_depth=5).fit(X, y)
+    assert model.depth() == 0
+    assert np.allclose(model.predict(X), y.mean())
+
+
+def test_constant_target_yields_single_leaf():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(50, 2))
+    y = np.full(50, 7.0)
+    model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    assert np.allclose(model.predict(X), 7.0)
+
+
+def test_deeper_trees_reduce_training_error():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(-2, 2, size=(300, 1))
+    y = np.sin(3 * X[:, 0])
+    shallow = DecisionTreeRegressor(max_depth=1).fit(X, y)
+    deep = DecisionTreeRegressor(max_depth=5).fit(X, y)
+    err_shallow = np.mean((shallow.predict(X) - y) ** 2)
+    err_deep = np.mean((deep.predict(X) - y) ** 2)
+    assert err_deep < err_shallow
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(max_depth=-1)
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(min_samples_leaf=0)
+
+
+def test_bad_shapes_rejected():
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor().fit(np.zeros(3), np.zeros(3))
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor().fit(np.zeros((3, 1)), np.zeros(4))
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+
+def test_splits_ignore_row_order():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(100, 2))
+    y = (X[:, 0] > 0).astype(float) * 5.0
+    model_a = DecisionTreeRegressor(max_depth=2).fit(X, y)
+    permutation = rng.permutation(100)
+    model_b = DecisionTreeRegressor(max_depth=2).fit(X[permutation], y[permutation])
+    probe = rng.normal(size=(20, 2))
+    assert np.allclose(model_a.predict(probe), model_b.predict(probe))

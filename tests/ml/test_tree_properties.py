@@ -1,0 +1,69 @@
+"""Property-based tests for regression-tree invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeRegressor
+
+
+@st.composite
+def regression_problems(draw, min_rows=2, max_rows=40):
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    X = draw(
+        st.lists(
+            st.lists(
+                st.floats(-100, 100, allow_nan=False), min_size=2, max_size=2
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    y = draw(st.lists(st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n))
+    # a coarse value grid keeps distinct features distinct under the
+    # monotone transforms applied in the tests (no float collapse)
+    return np.round(np.array(X), 2), np.array(y)
+
+
+@given(regression_problems())
+@settings(max_examples=50)
+def test_predictions_within_target_range(problem):
+    X, y = problem
+    model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+    predictions = model.predict(X)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+
+
+@given(regression_problems())
+@settings(max_examples=50)
+def test_training_prediction_mean_preserved(problem):
+    """Leaf values are subset means, so the prediction mean equals the
+    target mean (each row lands in exactly one leaf)."""
+    X, y = problem
+    model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    assert np.isclose(model.predict(X).mean(), y.mean(), rtol=1e-6, atol=1e-6)
+
+
+@given(regression_problems(min_rows=4))
+@settings(max_examples=30)
+def test_invariant_to_monotone_feature_transform(problem):
+    """CART splits depend only on feature order, so a strictly
+    increasing transform of a feature leaves predictions unchanged."""
+    X, y = problem
+    model_a = DecisionTreeRegressor(max_depth=3).fit(X, y)
+    X_transformed = X.copy()
+    X_transformed[:, 0] = np.arcsinh(X_transformed[:, 0]) * 3.0 + 1.0
+    model_b = DecisionTreeRegressor(max_depth=3).fit(X_transformed, y)
+    assert np.allclose(model_a.predict(X), model_b.predict(X_transformed))
+
+
+@given(regression_problems())
+@settings(max_examples=30)
+def test_deeper_never_increases_training_error(problem):
+    X, y = problem
+    shallow = DecisionTreeRegressor(max_depth=1).fit(X, y)
+    deep = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    err_shallow = float(np.mean((shallow.predict(X) - y) ** 2))
+    err_deep = float(np.mean((deep.predict(X) - y) ** 2))
+    assert err_deep <= err_shallow + 1e-9

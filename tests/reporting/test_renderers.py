@@ -1,0 +1,121 @@
+"""Tests for the paper-style text renderers."""
+
+from repro.benchmark.deepdive import ModelSummary
+from repro.benchmark.disparity import DisparityFinding
+from repro.benchmark.impact import ImpactMatrix
+from repro.reporting import (
+    render_case_counts,
+    render_dataset_table,
+    render_disparity_figure,
+    render_impact_matrix,
+    render_model_table,
+)
+from repro.stats.gtest import GTestResult
+from repro.stats.impact import Impact
+
+
+def make_matrix():
+    matrix = ImpactMatrix()
+    matrix.add(Impact.WORSE, Impact.BETTER)
+    matrix.add(Impact.BETTER, Impact.BETTER)
+    matrix.add(Impact.INSIGNIFICANT, Impact.INSIGNIFICANT)
+    matrix.add(Impact.INSIGNIFICANT, Impact.INSIGNIFICANT)
+    return matrix
+
+
+def test_impact_matrix_renders_counts_and_percentages():
+    text = render_impact_matrix(make_matrix(), "TABLE TEST")
+    assert "TABLE TEST" in text
+    assert "50.0% (2)" in text  # insignificant/insignificant cell
+    assert "100% (4)" in text
+
+
+def test_impact_matrix_rows_in_paper_order():
+    text = render_impact_matrix(make_matrix(), "T")
+    lines = text.splitlines()
+    assert lines[3].startswith("worse")
+    assert lines[4].startswith("insignificant")
+    assert lines[5].startswith("better")
+    assert lines[6].startswith("total")
+
+
+def test_empty_impact_matrix_renders():
+    text = render_impact_matrix(ImpactMatrix(), "EMPTY")
+    assert "100% (0)" in text
+
+
+def test_model_table():
+    summaries = [
+        ModelSummary(
+            model="log_reg",
+            n_configurations=100,
+            fairness_worse=36,
+            fairness_better=21,
+            both_better=16,
+        )
+    ]
+    text = render_model_table(summaries, "TABLE XIV")
+    assert "log_reg" in text
+    assert "36.0% (36)" in text
+    assert "21.0% (21)" in text
+    assert "16.0% (16)" in text
+
+
+def test_dataset_table():
+    rows = [
+        {
+            "name": "german",
+            "source": "finance",
+            "n_tuples": 1000,
+            "sensitive_attributes": ("age", "sex"),
+        }
+    ]
+    text = render_dataset_table(rows, "TABLE I")
+    assert "german" in text
+    assert "1,000" in text
+    assert "age, sex" in text
+
+
+def test_case_counts():
+    text = render_case_counts(
+        {"total": 40, "non_worsening": 37, "fairness_improving": 23, "win_win": 17},
+        "CASES",
+    )
+    assert "37 / 40" in text
+    assert "23 / 40" in text
+    assert "17 / 40" in text
+
+
+def make_finding(significant=True):
+    return DisparityFinding(
+        dataset="adult",
+        detector="missing_values",
+        group_key="race",
+        privileged_flagged=50,
+        privileged_total=1000,
+        disadvantaged_flagged=150,
+        disadvantaged_total=1000,
+        test=GTestResult(
+            statistic=10.0,
+            p_value=0.001 if significant else 0.5,
+            dof=1,
+            significant=significant,
+        ),
+    )
+
+
+def test_disparity_figure_marks_significance():
+    text = render_disparity_figure([make_finding()], "FIG 1")
+    assert "FIG 1" in text
+    assert "missing_values  * " in text
+    assert "5.0%" in text
+    assert "15.0%" in text
+
+
+def test_disparity_figure_no_marker_when_insignificant():
+    text = render_disparity_figure([make_finding(significant=False)], "FIG")
+    assert "missing_values  * " not in text
+
+
+def test_disparity_figure_empty():
+    assert "(no findings)" in render_disparity_figure([], "FIG")

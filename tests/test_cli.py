@@ -1,0 +1,98 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+    assert "german" in out and "378,817" in out
+
+
+def test_rq1_command_single_dataset(capsys):
+    assert main(["rq1", "--dataset", "german", "--n-rows", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "german / age" in out
+
+
+def test_rq1_intersectional(capsys):
+    assert (
+        main(["rq1", "--dataset", "german", "--n-rows", "600", "--intersectional"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "sex_x_age" in out
+
+
+def test_study_and_tables_roundtrip(tmp_path, capsys):
+    store_path = str(tmp_path / "store.json")
+    code = main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "german/mislabels: +" in out
+
+    assert main(["tables", "--store", store_path]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE X:" in out
+    assert "TABLE XIV" in out
+
+
+def test_report_command(tmp_path, capsys):
+    store_path = str(tmp_path / "store.json")
+    main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "2",
+        ]
+    )
+    capsys.readouterr()
+    output = tmp_path / "report.md"
+    assert main(["report", "--store", store_path, "--output", str(output)]) == 0
+    text = output.read_text()
+    assert text.startswith("# Study report")
+    assert "## Table X:" in text
+
+
+def test_report_empty_store(tmp_path, capsys):
+    assert main(["report", "--store", str(tmp_path / "none.json")]) == 1
+
+
+def test_tables_empty_store(tmp_path, capsys):
+    assert main(["tables", "--store", str(tmp_path / "empty.json")]) == 1
+    assert "empty" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["rq1", "--dataset", "nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,132 @@
+"""Tests for exact kNN-Shapley values."""
+
+import numpy as np
+import pytest
+
+from repro.valuation import knn_shapley
+
+
+def knn_utility(X_train, y_train, X_test, y_test, k):
+    """Direct computation of the kNN utility (mean match fraction)."""
+    total = 0.0
+    for x, y in zip(X_test, y_test):
+        distances = np.sum((X_train - x) ** 2, axis=1)
+        order = np.argsort(distances, kind="mergesort")[: min(k, len(y_train))]
+        total += np.mean(y_train[order] == y)
+    return total / len(y_test)
+
+
+def brute_force_shapley(X_train, y_train, x_test, y_test, k):
+    """Exponential-time Shapley for tiny training sets."""
+    import itertools
+
+    n = len(y_train)
+    values = np.zeros(n)
+
+    def utility(subset):
+        # Jia et al.'s kNN utility: matches among the min(K, |S|)
+        # nearest neighbours, always divided by K
+        if not subset:
+            return 0.0
+        subset = list(subset)
+        distances = np.sum((X_train[subset] - x_test) ** 2, axis=1)
+        order = np.argsort(distances, kind="mergesort")[: min(k, len(subset))]
+        return float(np.sum(y_train[np.array(subset)[order]] == y_test)) / k
+
+    import math
+
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        for size in range(n):
+            for subset in itertools.combinations(others, size):
+                weight = (
+                    math.factorial(size) * math.factorial(n - size - 1)
+                ) / math.factorial(n)
+                values[i] += weight * (
+                    utility(list(subset) + [i]) - utility(subset)
+                )
+    return values
+
+
+def make_data(n_train=40, n_test=15, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0, 1, (n_train // 2, 2))
+    X1 = rng.normal(3, 1, (n_train - n_train // 2, 2))
+    X_train = np.vstack([X0, X1])
+    y_train = np.array([0] * (n_train // 2) + [1] * (n_train - n_train // 2))
+    X_test = np.vstack(
+        [rng.normal(0, 1, (n_test // 2, 2)), rng.normal(3, 1, (n_test - n_test // 2, 2))]
+    )
+    y_test = np.array([0] * (n_test // 2) + [1] * (n_test - n_test // 2))
+    return X_train, y_train, X_test, y_test
+
+
+def test_efficiency_axiom_values_sum_to_utility():
+    X_train, y_train, X_test, y_test = make_data()
+    for k in (1, 3, 5):
+        values = knn_shapley(X_train, y_train, X_test, y_test, k=k)
+        assert values.sum() == pytest.approx(
+            knn_utility(X_train, y_train, X_test, y_test, k)
+        )
+
+
+def test_matches_brute_force_on_tiny_instance():
+    rng = np.random.default_rng(1)
+    X_train = rng.normal(size=(6, 2))
+    y_train = np.array([0, 1, 0, 1, 1, 0])
+    x_test = rng.normal(size=2)
+    y_test = 1
+    exact = brute_force_shapley(X_train, y_train, x_test, y_test, k=3)
+    fast = knn_shapley(
+        X_train, y_train, x_test[None, :], np.array([y_test]), k=3
+    )
+    assert np.allclose(fast, exact, atol=1e-10)
+
+
+def test_matches_brute_force_k1():
+    rng = np.random.default_rng(2)
+    X_train = rng.normal(size=(5, 2))
+    y_train = np.array([1, 0, 1, 0, 1])
+    x_test = rng.normal(size=2)
+    exact = brute_force_shapley(X_train, y_train, x_test, 0, k=1)
+    fast = knn_shapley(X_train, y_train, x_test[None, :], np.array([0]), k=1)
+    assert np.allclose(fast, exact, atol=1e-10)
+
+
+def test_mislabeled_points_get_lower_values():
+    X_train, y_train, X_test, y_test = make_data(n_train=100, n_test=40)
+    noisy = y_train.copy()
+    flipped = [3, 17, 41, 77]
+    for index in flipped:
+        noisy[index] = 1 - noisy[index]
+    values = knn_shapley(X_train, noisy, X_test, y_test, k=5)
+    flipped_mean = values[flipped].mean()
+    clean_mean = np.delete(values, flipped).mean()
+    assert flipped_mean < clean_mean
+
+
+def test_helpful_point_has_positive_value():
+    # a training point identical to a test point with matching label
+    X_train = np.array([[0.0, 0.0], [5.0, 5.0]])
+    y_train = np.array([1, 0])
+    X_test = np.array([[0.0, 0.0]])
+    y_test = np.array([1])
+    values = knn_shapley(X_train, y_train, X_test, y_test, k=1)
+    assert values[0] > 0
+    assert values.sum() == pytest.approx(1.0)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError, match="feature mismatch"):
+        knn_shapley(np.zeros((3, 2)), np.zeros(3), np.zeros((2, 3)), np.zeros(2))
+    with pytest.raises(ValueError, match="non-empty"):
+        knn_shapley(np.zeros((0, 2)), np.zeros(0), np.zeros((2, 2)), np.zeros(2))
+    with pytest.raises(ValueError, match="k must be"):
+        knn_shapley(np.zeros((3, 2)), np.zeros(3), np.zeros((2, 2)), np.zeros(2), k=0)
+
+
+def test_deterministic():
+    X_train, y_train, X_test, y_test = make_data()
+    a = knn_shapley(X_train, y_train, X_test, y_test)
+    b = knn_shapley(X_train, y_train, X_test, y_test)
+    assert np.array_equal(a, b)
