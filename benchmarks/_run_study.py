@@ -3,12 +3,17 @@
 Scale: n_sample=3000 with a 40% test split; 12 repetitions for
 missing values and mislabels, 8 for outliers (which have 10 model
 versions per repetition). The store is keyed per run, so re-running
-this script resumes instead of recomputing.
+this script resumes instead of recomputing — including records
+recovered from JSONL journal shards of an interrupted parallel run.
+
+``--workers N`` shards the pending runs across a multiprocessing
+pool; the resulting store is byte-identical to a serial run.
 """
+import argparse
 from pathlib import Path
 
 from repro import StudyConfig, ExperimentRunner
-from repro.benchmark import ResultStore
+from repro.benchmark import ResultStore, run_parallel_study
 from repro.datasets import DATASET_NAMES
 
 STORE_PATH = Path(__file__).parent / "_results" / "study.json"
@@ -21,8 +26,26 @@ CONFIGS = {
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (>1 runs the sharded parallel executor)",
+    )
+    args = parser.parse_args()
     store = ResultStore(STORE_PATH)
     for error_type, config in CONFIGS.items():
+        if args.workers > 1:
+            added = run_parallel_study(
+                config,
+                store,
+                workers=args.workers,
+                error_types=(error_type,),
+                progress=lambda line: print(line, flush=True),
+            )
+            print(f"{error_type}: +{added} (total {len(store)})", flush=True)
+            continue
         runner = ExperimentRunner(config, store)
         for dataset in DATASET_NAMES:
             added = runner.run_dataset_error(dataset, error_type)

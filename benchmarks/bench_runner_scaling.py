@@ -1,0 +1,120 @@
+"""Runner scaling benchmarks: single-cell latency and 1-vs-N workers.
+
+Measures (a) the latency of one repetition cell — the work unit the
+parallel scheduler ships to worker processes — and (b) the wall clock
+of a small full study (german, all three error types) executed
+serially versus on the sharded worker pool. Results are appended to
+``BENCH_runner.json`` at the repo root for the perf trajectory,
+alongside the core count of the measuring machine (speedup tracks the
+hardware: expect ≥2× only with ≥4 physical cores; on a single-core
+box the pool's process overhead makes the parallel path *slower*).
+
+Run with ``pytest benchmarks/bench_runner_scaling.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import ExperimentRunner, StudyConfig
+from repro.benchmark import ResultStore, run_parallel_study
+from repro.datasets import load_dataset
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_runner.json"
+
+#: Small full-study config: every error type on german at smoke scale.
+SCALING_CONFIG = StudyConfig(
+    n_sample=300,
+    n_repetitions=2,
+    models=("log_reg",),
+    dataset_sizes={"german": 600},
+)
+
+#: Worker-pool width under test (bounded so the bench stays cheap).
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+ERROR_TYPES = ("missing_values", "outliers", "mislabels")
+
+
+def _merge_artifact(update: dict) -> None:
+    payload = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    payload.update(update)
+    payload["cpu_count"] = os.cpu_count()
+    payload["config"] = {
+        "dataset": "german",
+        "error_types": list(ERROR_TYPES),
+        "n_sample": SCALING_CONFIG.n_sample,
+        "n_repetitions": SCALING_CONFIG.n_repetitions,
+        "models": list(SCALING_CONFIG.models),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_single_cell_latency(benchmark):
+    """One (model, tuning_seed) cell incl. shared version preparation."""
+    definition, table = load_dataset("german", n_rows=600, seed=0)
+
+    def run_cell() -> int:
+        store = ResultStore()
+        runner = ExperimentRunner(SCALING_CONFIG, store)
+        return runner.run_repetition_cells(
+            definition, table, "mislabels", 0, [("log_reg", 0)]
+        )
+
+    added = benchmark(run_cell)
+    assert added == 1
+    _merge_artifact(
+        {
+            "single_cell": {
+                "mean_s": benchmark.stats.stats.mean,
+                "stddev_s": benchmark.stats.stats.stddev,
+            }
+        }
+    )
+
+
+def test_worker_scaling(benchmark, tmp_path):
+    """Serial vs sharded-pool wall clock for the small full study."""
+
+    def run_study(store: ResultStore, workers: int) -> int:
+        return run_parallel_study(
+            SCALING_CONFIG,
+            store,
+            workers=workers,
+            datasets=("german",),
+            error_types=ERROR_TYPES,
+        )
+
+    start = time.perf_counter()
+    serial_added = run_study(ResultStore(tmp_path / "serial" / "study.json"), 1)
+    serial_s = time.perf_counter() - start
+    assert serial_added > 0
+
+    fresh = itertools.count()
+
+    def setup():
+        directory = tmp_path / f"parallel{next(fresh)}"
+        return (ResultStore(directory / "study.json"), WORKERS), {}
+
+    benchmark.pedantic(run_study, setup=setup, rounds=3, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+    speedup = serial_s / parallel_s
+    _merge_artifact(
+        {
+            "scaling": {
+                "workers": WORKERS,
+                "records": serial_added,
+                "serial_s": serial_s,
+                "parallel_mean_s": parallel_s,
+                "speedup": speedup,
+            }
+        }
+    )
+    # the guarantee is hardware-dependent; only sanity-check where the
+    # machine can actually run units concurrently
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup > 1.0

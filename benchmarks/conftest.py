@@ -3,23 +3,31 @@
 The RQ2 benches read a shared, resumable result store
 (``benchmarks/_results/study.json``). If the store is missing runs for
 an error type, the fixture populates them on first use (this is the
-expensive part — roughly an hour for the full study on a laptop — and
-happens only once thanks to the store's resume capability). Rendered
+expensive part — roughly an hour of serial laptop compute for the
+full study — and happens only once thanks to the store's resume
+capability). Set ``REPRO_BENCH_WORKERS=N`` to shard the population
+across N worker processes (the sharded executor journals completed
+records to JSONL shards, so even a killed populate run resumes, and
+the resulting store is byte-identical to a serial one). Rendered
 tables are also written to ``benchmarks/_results/*.txt``.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro import ExperimentRunner, StudyConfig
-from repro.benchmark import ResultStore
+from repro.benchmark import ResultStore, run_parallel_study
 from repro.datasets import DATASET_NAMES, dataset_definition
 
 RESULTS_DIR = Path(__file__).parent / "_results"
 STORE_PATH = RESULTS_DIR / "study.json"
+
+#: Worker processes used to populate the store (1 = serial in-process).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: Same scales as benchmarks/_run_study.py (kept in sync manually so
 #: the bench suite can both consume a pre-built store and build one).
@@ -39,8 +47,18 @@ DISPARITY_SIZES = {
 }
 
 
-def ensure_error_type(store: ResultStore, error_type: str) -> None:
+def ensure_error_type(
+    store: ResultStore, error_type: str, workers: int = BENCH_WORKERS
+) -> None:
     """Populate any missing runs for one error type (resumable)."""
+    if workers > 1:
+        run_parallel_study(
+            STUDY_CONFIGS[error_type],
+            store,
+            workers=workers,
+            error_types=(error_type,),
+        )
+        return
     runner = ExperimentRunner(STUDY_CONFIGS[error_type], store)
     for dataset in DATASET_NAMES:
         added = runner.run_dataset_error(dataset, error_type)

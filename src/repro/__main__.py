@@ -33,6 +33,13 @@ from repro.reporting import (
 )
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name in DATASET_NAMES:
@@ -74,15 +81,28 @@ def _cmd_study(args: argparse.Namespace) -> int:
         test_fraction=args.test_fraction,
         n_repetitions=args.repetitions,
         n_tuning_seeds=args.tuning_seeds,
+        workers=args.workers,
     )
     store = ResultStore(args.store)
-    runner = ExperimentRunner(config, store)
     names = [args.dataset] if args.dataset else list(DATASET_NAMES)
     error_types = (
         [args.error_type]
         if args.error_type
         else ["missing_values", "outliers", "mislabels"]
     )
+    if config.workers > 1:
+        from repro.benchmark import run_parallel_study
+
+        total = run_parallel_study(
+            config,
+            store,
+            datasets=names,
+            error_types=error_types,
+            progress=lambda line: print(line, flush=True),
+        )
+        print(f"added {total} records ({len(store)} in store)")
+        return 0
+    runner = ExperimentRunner(config, store)
     total = 0
     for error_type in error_types:
         for name in names:
@@ -183,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--test-fraction", type=float, default=0.3)
     study.add_argument("--repetitions", type=int, default=10)
     study.add_argument("--tuning-seeds", type=int, default=1)
+    study.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes; >1 shards pending runs across a pool "
+        "(results are byte-identical to a serial run)",
+    )
     study.set_defaults(func=_cmd_study)
 
     tables = sub.add_parser("tables", help="render Tables II-XIV from a store")

@@ -9,8 +9,9 @@ disparity analysis (Section III) and the Section VI deep dive.
 
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.models import MODEL_NAMES, model_search
-from repro.benchmark.results import ResultStore, RunRecord
+from repro.benchmark.results import JournalWriter, ResultStore, RunRecord
 from repro.benchmark.runner import ExperimentRunner
+from repro.benchmark.parallel import WorkUnit, plan_work_units, run_parallel_study
 from repro.benchmark.impact import (
     ConfigurationImpact,
     ImpactAnalysis,
@@ -24,9 +25,13 @@ __all__ = [
     "StudyConfig",
     "MODEL_NAMES",
     "model_search",
+    "JournalWriter",
     "ResultStore",
     "RunRecord",
     "ExperimentRunner",
+    "WorkUnit",
+    "plan_work_units",
+    "run_parallel_study",
     "ConfigurationImpact",
     "ImpactAnalysis",
     "ImpactMatrix",

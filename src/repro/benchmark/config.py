@@ -29,6 +29,12 @@ class StudyConfig:
             laptop-friendly size; use Table I sizes for full scale).
         generation_seed: Seed for dataset generation.
         models: Model names to evaluate (from the model registry).
+        workers: Worker processes for study execution. ``1`` runs
+            serially in-process; larger values shard pending work
+            units across a multiprocessing pool (results are
+            byte-identical to a serial run — every random draw is
+            seeded from configuration coordinates, never from
+            execution order).
     """
 
     n_sample: int = 1_000
@@ -48,6 +54,7 @@ class StudyConfig:
     )
     generation_seed: int = 0
     models: tuple[str, ...] = ("log_reg", "knn", "xgboost")
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_sample < 10:
@@ -64,6 +71,8 @@ class StudyConfig:
             raise ValueError(
                 f"n_tuning_seeds must be >= 1, got {self.n_tuning_seeds}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def runs_per_configuration(self) -> int:

@@ -1,0 +1,306 @@
+"""Sharded parallel execution of the study grid.
+
+The study is an embarrassingly parallel grid of independent
+``(dataset, error_type, repetition, model, tuning_seed)`` cells — the
+structure CleanML and FairPrep exploit as well. Every random draw in
+the runner is seeded by hashes of configuration coordinates
+(:func:`repro.benchmark.runner._seed_for`), never by execution order,
+so distributing cells across processes changes nothing about the
+results: the headline guarantee of this module is that parallel and
+serial execution produce **byte-identical** result stores.
+
+Three pieces cooperate:
+
+- :func:`plan_work_units` enumerates every pending cell by consulting
+  the resumable store first (completed cells are never recomputed,
+  including cells recovered from a journal shard of a killed run) and
+  groups them into :class:`WorkUnit` shards that share one expensive
+  version preparation (dataset, error_type, repetition).
+- :func:`run_parallel_study` ships units to a ``multiprocessing``
+  worker pool (stdlib only; the fork start method where available —
+  it is cheap and does not re-import the parent — with a spawn
+  fallback elsewhere). Workers cache generated datasets per process
+  and append every completed record to their own JSONL journal shard
+  (``{stem}.w{pid}.jsonl``) the moment it exists, so a killed run
+  loses at most the in-flight cells.
+- The parent merges worker results into the master store and calls
+  :meth:`ResultStore.save`, which compacts journal shards into the
+  single ``{stem}.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.benchmark.config import StudyConfig
+from repro.benchmark.results import JournalWriter, ResultStore, RunRecord
+from repro.benchmark.runner import ERROR_TYPES, Cell, ExperimentRunner
+from repro.cleaning.strategies import (
+    MISSING_VALUE_REPAIRS,
+    OUTLIER_DETECTORS,
+    OUTLIER_REPAIRS,
+)
+from repro.datasets import dataset_definition, load_dataset
+
+#: (detection, repair) pairs the runner produces per error type, in
+#: registry order. Used to derive the expected record keys of a cell
+#: without preparing any data.
+_VARIANTS: dict[str, tuple[tuple[str, str], ...]] = {
+    "missing_values": tuple(
+        ("missing_values", repair) for repair in MISSING_VALUE_REPAIRS
+    ),
+    "outliers": tuple(
+        (detector, repair)
+        for detector in OUTLIER_DETECTORS
+        for repair in OUTLIER_REPAIRS
+    ),
+    "mislabels": (("cleanlab", "flip_labels"),),
+}
+
+
+def expected_cell_keys(
+    dataset: str, error_type: str, repetition: int, model: str, tuning_seed: int
+) -> list[str]:
+    """Store keys a fully-evaluated cell contributes, in registry order."""
+    if error_type not in _VARIANTS:
+        raise ValueError(
+            f"unknown error type {error_type!r}; valid: {ERROR_TYPES}"
+        )
+    return [
+        RunRecord(
+            dataset=dataset,
+            error_type=error_type,
+            detection=detection,
+            repair=repair,
+            model=model,
+            repetition=repetition,
+            tuning_seed=tuning_seed,
+        ).key
+        for detection, repair in _VARIANTS[error_type]
+    ]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """Pending cells sharing one version preparation.
+
+    Attributes:
+        dataset: Dataset name (resolved via the registry in the worker).
+        error_type: Error type of the unit.
+        repetition: Split index whose versions the unit prepares once.
+        cells: Pending ``(model, tuning_seed)`` cells to evaluate.
+        done_keys: Record keys of this repetition already in the store;
+            workers pre-seed their shard store with them so partially
+            completed cells skip the finished repair variants.
+    """
+
+    dataset: str
+    error_type: str
+    repetition: int
+    cells: tuple[Cell, ...]
+    done_keys: tuple[str, ...] = ()
+
+
+def plan_work_units(
+    config: StudyConfig,
+    store: ResultStore,
+    datasets: Sequence[str] | None = None,
+    error_types: Sequence[str] | None = None,
+    models: Sequence[str] | None = None,
+) -> list[WorkUnit]:
+    """Enumerate every pending cell and shard by shared preparation.
+
+    A cell is pending when any of its expected record keys is missing
+    from ``store``; error types a dataset does not support are skipped
+    entirely (mirroring :meth:`ExperimentRunner.run_definition`).
+    """
+    if datasets is None:
+        from repro.datasets import DATASET_NAMES
+
+        datasets = DATASET_NAMES
+    error_types = tuple(error_types) if error_types is not None else ERROR_TYPES
+    models = tuple(models) if models is not None else config.models
+    units: list[WorkUnit] = []
+    for dataset in datasets:
+        definition = dataset_definition(dataset)
+        for error_type in error_types:
+            if error_type not in ERROR_TYPES:
+                raise ValueError(
+                    f"unknown error type {error_type!r}; valid: {ERROR_TYPES}"
+                )
+            if error_type not in definition.error_types:
+                continue
+            for repetition in range(config.n_repetitions):
+                pending: list[Cell] = []
+                done: list[str] = []
+                for model in models:
+                    for seed in range(config.n_tuning_seeds):
+                        keys = expected_cell_keys(
+                            dataset, error_type, repetition, model, seed
+                        )
+                        done.extend(key for key in keys if key in store)
+                        if any(key not in store for key in keys):
+                            pending.append((model, seed))
+                if pending:
+                    units.append(
+                        WorkUnit(
+                            dataset=dataset,
+                            error_type=error_type,
+                            repetition=repetition,
+                            cells=tuple(pending),
+                            done_keys=tuple(done),
+                        )
+                    )
+    return units
+
+
+class _ShardStore:
+    """Minimal store protocol for one worker's shard.
+
+    Supports exactly what :class:`ExperimentRunner` needs — key
+    membership and :meth:`add` — plus incremental journaling of every
+    added record. Pre-seeded with the unit's completed keys so the
+    runner's pending filter skips finished repair variants.
+    """
+
+    def __init__(
+        self, done_keys: Iterable[str], journal: JournalWriter | None = None
+    ) -> None:
+        self._seen = set(done_keys)
+        self._journal = journal
+        self.added: list[RunRecord] = []
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen
+
+    def add(self, record: RunRecord) -> None:
+        if record.key in self._seen:
+            raise ValueError(f"duplicate record key {record.key!r}")
+        self._seen.add(record.key)
+        self.added.append(record)
+        if self._journal is not None:
+            self._journal.write(record)
+
+
+def _pool_context():
+    """The multiprocessing start method for the worker pool.
+
+    Fork (where available) keeps worker start-up cheap and — unlike
+    spawn — never re-imports the parent's ``__main__``, so the
+    executor also works from REPLs and piped scripts. Worker results
+    do not depend on the start method: all randomness is seeded from
+    configuration coordinates, never from inherited RNG state.
+    """
+    try:
+        return get_context("fork")
+    except ValueError:
+        return get_context("spawn")
+
+
+#: Per-process cache of generated datasets, keyed by
+#: (name, n_rows, seed) — pool workers execute many units of the same
+#: dataset and must not regenerate it each time.
+_DATASET_CACHE: dict[tuple[str, int, int], Any] = {}
+
+
+def _load_cached(name: str, n_rows: int, seed: int):
+    key = (name, n_rows, seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_dataset(name, n_rows=n_rows, seed=seed)
+    return _DATASET_CACHE[key]
+
+
+def _execute_unit(
+    task: tuple[StudyConfig, WorkUnit, str | None],
+) -> tuple[WorkUnit, list[dict[str, Any]]]:
+    """Worker entry point: run one unit, journal and return its records."""
+    config, unit, journal_prefix = task
+    definition, table = _load_cached(
+        unit.dataset, config.dataset_size(unit.dataset), config.generation_seed
+    )
+    journal = (
+        JournalWriter(f"{journal_prefix}.w{os.getpid()}.jsonl")
+        if journal_prefix is not None
+        else None
+    )
+    shard = _ShardStore(unit.done_keys, journal)
+    runner = ExperimentRunner(config, shard)  # type: ignore[arg-type]
+    try:
+        runner.run_repetition_cells(
+            definition, table, unit.error_type, unit.repetition, unit.cells
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    return unit, [record.to_json() for record in shard.added]
+
+
+def run_parallel_study(
+    config: StudyConfig,
+    store: ResultStore,
+    workers: int | None = None,
+    datasets: Sequence[str] | None = None,
+    error_types: Sequence[str] | None = None,
+    models: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+    save: bool = True,
+) -> int:
+    """Run all pending cells of a study, sharded across worker processes.
+
+    Plans pending work units against ``store`` (so completed runs —
+    including records recovered from journal shards of a killed run —
+    are never recomputed), executes them on a ``multiprocessing``
+    pool of ``workers`` processes (in-process when ``workers``
+    is 1 or only one unit is pending), merges the results into
+    ``store`` and, when ``save`` is true and the store has a backing
+    path, compacts everything into its JSON file. Returns the number
+    of new records added.
+    """
+    workers = config.workers if workers is None else workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    units = plan_work_units(
+        config, store, datasets=datasets, error_types=error_types, models=models
+    )
+    if progress is not None:
+        n_cells = sum(len(unit.cells) for unit in units)
+        progress(
+            f"planned {len(units)} work units ({n_cells} pending cells) "
+            f"for {workers} worker(s)"
+        )
+    if not units:
+        return 0
+    journal_prefix = (
+        str(store.path.with_suffix("")) if store.path is not None else None
+    )
+    tasks = [(config, unit, journal_prefix) for unit in units]
+    added = 0
+
+    def merge(unit: WorkUnit, payloads: list[dict[str, Any]]) -> int:
+        merged = 0
+        for payload in payloads:
+            record = RunRecord.from_json(payload)
+            if record.key not in store:
+                store.add(record)
+                merged += 1
+        if progress is not None:
+            progress(
+                f"{unit.dataset}/{unit.error_type}/rep{unit.repetition}: "
+                f"+{merged}"
+            )
+        return merged
+
+    if workers == 1 or len(units) == 1:
+        for task in tasks:
+            added += merge(*_execute_unit(task))
+    else:
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(units))) as pool:
+            for unit, payloads in pool.imap_unordered(_execute_unit, tasks):
+                added += merge(unit, payloads)
+    if save and store.path is not None:
+        store.save()
+    return added

@@ -10,6 +10,14 @@ skips every key already present. The key→value mapping is stable by
 construction — each record embeds its own configuration fields — which
 is precisely the reproducibility property whose violation the paper
 reported (and fixed) in the original CleanML codebase.
+
+Incremental persistence uses an append-only JSONL journal: writers
+(e.g. parallel study workers) append one record per line to shard
+files named ``{stem}.jsonl`` or ``{stem}.{shard}.jsonl`` next to the
+store's ``{stem}.json``. Loading a store replays any journal shards on
+top of the compacted JSON, so a killed run resumes mid-shard without
+losing completed records; :meth:`ResultStore.save` compacts everything
+back into the single JSON file and removes the shards.
 """
 
 from __future__ import annotations
@@ -84,14 +92,60 @@ class RunRecord:
         )
 
 
+class JournalWriter:
+    """Append-only JSONL writer for incremental record persistence.
+
+    Each :meth:`write` appends one ``RunRecord.to_json()`` line and
+    flushes, so every completed record survives a crash of the writing
+    process. Usable as a context manager.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle = None
+
+    @property
+    def path(self) -> Path:
+        """The shard file this writer appends to."""
+        return self._path
+
+    def write(self, record: RunRecord) -> None:
+        """Append one record as a JSON line and flush."""
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._path.open("a")
+        self._handle.write(json.dumps(record.to_json()) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (if ever opened)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class ResultStore:
     """In-memory result store with optional JSON persistence."""
 
     def __init__(self, path: str | Path | None = None) -> None:
         self._path = Path(path) if path is not None else None
         self._records: dict[str, RunRecord] = {}
-        if self._path is not None and self._path.exists():
-            self._load()
+        self._sorted: list[tuple[str, RunRecord]] | None = None
+        if self._path is not None:
+            if self._path.exists():
+                self._load()
+            self._replay_journal()
+
+    @property
+    def path(self) -> Path | None:
+        """The backing JSON path (None for in-memory stores)."""
+        return self._path
 
     def _load(self) -> None:
         assert self._path is not None
@@ -101,27 +155,96 @@ class ResultStore:
             record = RunRecord.from_json(record_payload)
             self._records[record.key] = record
 
+    # -- JSONL journal ---------------------------------------------------
+
+    def journal_paths(self) -> list[Path]:
+        """Existing journal shard files for this store, sorted by name."""
+        if self._path is None:
+            return []
+        stem = self._path.stem
+        parent = self._path.parent
+        paths = sorted(parent.glob(f"{stem}.*.jsonl"))
+        default = parent / f"{stem}.jsonl"
+        if default.exists():
+            paths.insert(0, default)
+        return paths
+
+    def journal_writer(self, shard: str | None = None) -> JournalWriter:
+        """An append-only writer for this store's journal.
+
+        ``shard`` distinguishes concurrent writers (e.g. one per worker
+        process); the default shard is ``{stem}.jsonl``.
+        """
+        if self._path is None:
+            raise RuntimeError("this ResultStore has no backing path")
+        name = (
+            f"{self._path.stem}.jsonl"
+            if shard is None
+            else f"{self._path.stem}.{shard}.jsonl"
+        )
+        return JournalWriter(self._path.parent / name)
+
+    def _replay_journal(self) -> int:
+        """Replay journal shards on top of the compacted JSON.
+
+        Records whose key is already present are skipped (they were
+        compacted before the shard was removed); undecodable lines —
+        typically a partial trailing line from a killed writer — are
+        ignored. Returns the number of records recovered.
+        """
+        recovered = 0
+        for shard in self.journal_paths():
+            with shard.open("r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                        record = RunRecord.from_json(payload)
+                    except (ValueError, KeyError, TypeError):
+                        continue
+                    if record.key not in self._records:
+                        self._records[record.key] = record
+                        recovered += 1
+        if recovered:
+            self._sorted = None
+        return recovered
+
     def save(self) -> None:
-        """Persist all records to the store's JSON path."""
+        """Persist all records to the store's JSON path.
+
+        Compacts the store: after the atomic rewrite of ``{stem}.json``
+        every journal shard is removed, since its records are now part
+        of the compacted file.
+        """
         if self._path is None:
             raise RuntimeError("this ResultStore has no backing path")
         payload = {
-            "records": [
-                record.to_json()
-                for __, record in sorted(self._records.items())
-            ]
+            "records": [record.to_json() for __, record in self._sorted_items()]
         }
         self._path.parent.mkdir(parents=True, exist_ok=True)
         tmp_path = self._path.with_suffix(".tmp")
         with tmp_path.open("w") as handle:
             json.dump(payload, handle, indent=1)
         tmp_path.replace(self._path)
+        for shard in self.journal_paths():
+            shard.unlink()
+
+    # -- record access ---------------------------------------------------
+
+    def _sorted_items(self) -> list[tuple[str, RunRecord]]:
+        """Key-sorted records, cached until the next :meth:`add`."""
+        if self._sorted is None:
+            self._sorted = sorted(self._records.items())
+        return self._sorted
 
     def add(self, record: RunRecord) -> None:
         """Insert a record; duplicate keys are rejected."""
         if record.key in self._records:
             raise ValueError(f"duplicate record key {record.key!r}")
         self._records[record.key] = record
+        self._sorted = None
 
     def __contains__(self, key: str) -> bool:
         return key in self._records
@@ -153,7 +276,7 @@ class ResultStore:
         unknown = set(filters) - valid
         if unknown:
             raise ValueError(f"unknown filters: {sorted(unknown)}")
-        for __, record in sorted(self._records.items()):
+        for __, record in self._sorted_items():
             if all(getattr(record, name) == value for name, value in filters.items()):
                 yield record
 

@@ -24,19 +24,27 @@ Error-type specifics follow the paper's Section V exactly:
 - *mislabels* — incomplete tuples are removed beforehand; repair flips
   the flagged labels in the train set only (test labels are never
   flipped, to keep predictions comparable).
+
+Execution is structured around *repetition cells*: version preparation
+(splitting, detection, repair) plus featurisation and group masks are
+computed once per ``(dataset, error_type, repetition)`` and shared by
+every ``model × tuning_seed`` cell inside that repetition. Every
+random draw is seeded by :func:`_seed_for` hashes of configuration
+coordinates — never by execution order — so any subset of cells, run
+in any order (including in parallel worker processes, see
+:mod:`repro.benchmark.parallel`), produces identical records.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.models import model_search
 from repro.benchmark.results import ResultStore, RunRecord
-from repro.cleaning.detection import DetectionResult
 from repro.cleaning.mislabels import ConfidentLearningDetector
 from repro.cleaning.repair import (
     CategoricalImputation,
@@ -50,12 +58,20 @@ from repro.cleaning.strategies import (
     outlier_repairs,
 )
 from repro.datasets import DatasetDefinition, load_dataset
-from repro.fairness.confusion import group_confusion_matrices, result_store_keys
+from repro.fairness.confusion import (
+    GroupMasks,
+    group_confusions_from_masks,
+    group_masks,
+    result_store_keys,
+)
 from repro.ml import TabularFeaturizer
 from repro.ml.metrics import accuracy_score, f1_score
 from repro.tabular import Table, train_test_split_table
 
 ERROR_TYPES = ("missing_values", "outliers", "mislabels")
+
+#: One schedulable cell inside a repetition: (model name, tuning seed).
+Cell = tuple[str, int]
 
 
 def _seed_for(*parts: object) -> int:
@@ -66,7 +82,15 @@ def _seed_for(*parts: object) -> int:
 
 @dataclass
 class _Version:
-    """A (train, test) pair with labels, ready for model training."""
+    """A (train, test) pair with labels, ready for model training.
+
+    ``features`` and ``masks`` cache the fitted featurisation and the
+    group masks of the test table. Both depend only on the version's
+    tables, so they are computed once and shared by every
+    model × tuning-seed cell of the repetition (previously the dirty
+    version alone was re-featurised ``len(models) × n_tuning_seeds``
+    times per repetition).
+    """
 
     name: str
     detection: str
@@ -74,6 +98,10 @@ class _Version:
     train_labels: np.ndarray
     test: Table
     test_labels: np.ndarray
+    features: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    masks: list[GroupMasks] | None = field(default=None, repr=False, compare=False)
 
 
 class ExperimentRunner:
@@ -132,32 +160,74 @@ class ExperimentRunner:
                 seed=self.config.generation_seed,
             )
         models = models or self.config.models
+        cells = [
+            (model_name, seed)
+            for model_name in models
+            for seed in range(self.config.n_tuning_seeds)
+        ]
         added = 0
         for repetition in range(self.config.n_repetitions):
-            versions = self._prepare_versions(
-                definition, table, error_type, repetition
+            added += self.run_repetition_cells(
+                definition, table, error_type, repetition, cells, progress=progress
             )
-            if versions is None:
-                continue
-            dirty, repaired_versions = versions
-            for model_name in models:
-                for seed in range(self.config.n_tuning_seeds):
-                    added += self._evaluate_model(
-                        definition,
-                        error_type,
-                        dirty,
-                        repaired_versions,
-                        model_name,
-                        repetition,
-                        seed,
-                        progress,
-                    )
         return added
 
-    def run_full_study(self, progress=None) -> int:
-        """Run every dataset × error type combination."""
+    def run_repetition_cells(
+        self,
+        definition: DatasetDefinition,
+        table: Table,
+        error_type: str,
+        repetition: int,
+        cells: "list[Cell] | tuple[Cell, ...]",
+        progress=None,
+    ) -> int:
+        """Run selected ``(model, tuning_seed)`` cells of one repetition.
+
+        Version preparation (and the per-version featurisation/mask
+        caches) happens once and is shared by every cell, which is the
+        unit of work the parallel scheduler ships to worker processes.
+        Returns the number of new records added.
+        """
+        if error_type not in ERROR_TYPES:
+            raise ValueError(
+                f"unknown error type {error_type!r}; valid: {ERROR_TYPES}"
+            )
+        if error_type not in definition.error_types or not cells:
+            return 0
+        versions = self._prepare_versions(definition, table, error_type, repetition)
+        if versions is None:
+            return 0
+        dirty, repaired_versions = versions
+        added = 0
+        for model_name, seed in cells:
+            added += self._evaluate_model(
+                definition,
+                error_type,
+                dirty,
+                repaired_versions,
+                model_name,
+                repetition,
+                seed,
+                progress,
+            )
+        return added
+
+    def run_full_study(self, progress=None, workers: int | None = None) -> int:
+        """Run every dataset × error type combination.
+
+        ``workers`` overrides :attr:`StudyConfig.workers`; with more
+        than one worker the sharded parallel executor is used (the
+        result store it fills is byte-identical to a serial run).
+        """
         from repro.datasets import DATASET_NAMES
 
+        workers = self.config.workers if workers is None else workers
+        if workers > 1:
+            from repro.benchmark.parallel import run_parallel_study
+
+            return run_parallel_study(
+                self.config, self.store, workers=workers, progress=progress
+            )
         added = 0
         for dataset_name in DATASET_NAMES:
             for error_type in ERROR_TYPES:
@@ -329,6 +399,31 @@ class ExperimentRunner:
 
     # -- model evaluation ---------------------------------------------------
 
+    def _features_for(
+        self, definition: DatasetDefinition, version: _Version
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fitted (X_train, X_test) matrices, cached on the version."""
+        if version.features is None:
+            featurizer = TabularFeaturizer(
+                feature_columns=definition.feature_columns(version.train)
+            ).fit(version.train)
+            version.features = (
+                featurizer.transform(version.train),
+                featurizer.transform(version.test),
+            )
+        return version.features
+
+    def _masks_for(
+        self, definition: DatasetDefinition, version: _Version
+    ) -> list[GroupMasks]:
+        """Group masks of the version's test table, cached on the version."""
+        if version.masks is None:
+            specs = list(definition.group_specs) + list(
+                definition.intersectional_specs
+            )
+            version.masks = group_masks(version.test, specs)
+        return version.masks
+
     def _score_version(
         self,
         definition: DatasetDefinition,
@@ -337,11 +432,7 @@ class ExperimentRunner:
         tuning_seed: int,
         technique: str,
     ) -> dict[str, object]:
-        featurizer = TabularFeaturizer(
-            feature_columns=definition.feature_columns(version.train)
-        ).fit(version.train)
-        X_train = featurizer.transform(version.train)
-        X_test = featurizer.transform(version.test)
+        X_train, X_test = self._features_for(definition, version)
         search = model_search(
             model_name,
             n_cv_folds=self.config.n_cv_folds,
@@ -355,11 +446,10 @@ class ExperimentRunner:
             f"{technique}_test_acc": accuracy_score(version.test_labels, predictions),
             f"{technique}_test_f1": f1_score(version.test_labels, predictions),
         }
-        specs = list(definition.group_specs) + list(definition.intersectional_specs)
-        for spec in specs:
-            group = group_confusion_matrices(
-                version.test, version.test_labels, predictions, spec
-            )
+        groups = group_confusions_from_masks(
+            version.test_labels, predictions, self._masks_for(definition, version)
+        )
+        for group in groups:
             metrics.update(result_store_keys(technique, group))
         return metrics
 

@@ -16,6 +16,8 @@ from repro.fairness.groups import (
 from repro.fairness.confusion import (
     GroupConfusion,
     group_confusion_matrices,
+    group_confusions_from_masks,
+    group_masks,
     result_store_keys,
 )
 from repro.fairness.metrics import (
@@ -35,6 +37,8 @@ __all__ = [
     "Comparison",
     "GroupConfusion",
     "group_confusion_matrices",
+    "group_confusions_from_masks",
+    "group_masks",
     "result_store_keys",
     "predictive_parity",
     "equal_opportunity",

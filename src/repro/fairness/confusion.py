@@ -9,17 +9,28 @@ the paper's convention, e.g.::
 
 Computing raw counts (rather than final metrics) keeps the result
 store metric-agnostic, as the paper's Section IV motivates.
+
+The counting itself is vectorised: labels and predictions are combined
+into a single ``2 * y_true + y_pred`` code vector whose values map to
+(tn, fp, fn, tp) = (0, 1, 2, 3), so each group's four counts come from
+one ``np.bincount`` over a boolean mask instead of per-group Python
+loops — this runs inside the study's parallel hot path once per model
+prediction and group definition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.fairness.groups import GroupSpec, IntersectionalSpec
-from repro.ml.metrics import ConfusionMatrix, confusion_matrix
+from repro.ml.metrics import ConfusionMatrix
 from repro.tabular import Table
+
+#: Masks for one group pair: (key, privileged mask, disadvantaged mask).
+GroupMasks = tuple[str, np.ndarray, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -33,6 +44,70 @@ class GroupConfusion:
     def metric_value(self, metric) -> float:
         """Evaluate a fairness metric callable on this pair."""
         return metric(self.privileged, self.disadvantaged)
+
+
+def confusion_codes(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Combine 0/1 labels and predictions into (tn, fp, fn, tp) codes.
+
+    The returned vector holds ``2 * y_true + y_pred`` so that value
+    ``0`` is a true negative, ``1`` a false positive, ``2`` a false
+    negative and ``3`` a true positive. Validates that both arrays are
+    0/1 and share a shape.
+    """
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    for name, arr in (("y_true", y_true), ("y_pred", y_pred)):
+        bad = np.setdiff1d(np.unique(arr), (0, 1))
+        if bad.size:
+            raise ValueError(f"{name} must be 0/1, found {bad}")
+    return 2 * y_true + y_pred
+
+
+def _confusion_from_codes(codes: np.ndarray, mask: np.ndarray) -> ConfusionMatrix:
+    counts = np.bincount(codes[mask], minlength=4)
+    return ConfusionMatrix(
+        tn=int(counts[0]), fp=int(counts[1]), fn=int(counts[2]), tp=int(counts[3])
+    )
+
+
+def group_masks(
+    table: Table, specs: Sequence[GroupSpec | IntersectionalSpec]
+) -> list[GroupMasks]:
+    """Precompute the (privileged, disadvantaged) masks for each spec.
+
+    The masks depend only on the table, so callers scoring many models
+    on the same test set compute them once and reuse them with
+    :func:`group_confusions_from_masks` for every prediction vector.
+    """
+    return [
+        (spec.key, spec.privileged_mask(table), spec.disadvantaged_mask(table))
+        for spec in specs
+    ]
+
+
+def group_confusions_from_masks(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    masks: Sequence[GroupMasks],
+) -> list[GroupConfusion]:
+    """Confusion-matrix pairs for precomputed group masks.
+
+    Validates and encodes the label arrays once, then derives each
+    group's counts with a single masked ``np.bincount``.
+    """
+    codes = confusion_codes(y_true, y_pred)
+    return [
+        GroupConfusion(
+            group_key=key,
+            privileged=_confusion_from_codes(codes, privileged),
+            disadvantaged=_confusion_from_codes(codes, disadvantaged),
+        )
+        for key, privileged, disadvantaged in masks
+    ]
 
 
 def group_confusion_matrices(
@@ -49,13 +124,10 @@ def group_confusion_matrices(
             f"label arrays must have {table.n_rows} entries, "
             f"got {len(y_true)} / {len(y_pred)}"
         )
-    privileged = spec.privileged_mask(table)
-    disadvantaged = spec.disadvantaged_mask(table)
-    return GroupConfusion(
-        group_key=spec.key,
-        privileged=confusion_matrix(y_true[privileged], y_pred[privileged]),
-        disadvantaged=confusion_matrix(y_true[disadvantaged], y_pred[disadvantaged]),
+    (confusion,) = group_confusions_from_masks(
+        y_true, y_pred, group_masks(table, [spec])
     )
+    return confusion
 
 
 def result_store_keys(

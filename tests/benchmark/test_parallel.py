@@ -1,0 +1,335 @@
+"""Tests for the sharded parallel study executor.
+
+The headline guarantee under test: parallel and serial execution
+produce byte-identical result stores, because every random draw is
+seeded from configuration coordinates rather than execution order.
+"""
+
+import json
+
+import pytest
+
+from repro.benchmark import (
+    ExperimentRunner,
+    ResultStore,
+    RunRecord,
+    StudyConfig,
+    WorkUnit,
+    plan_work_units,
+    run_parallel_study,
+)
+from repro.benchmark.parallel import expected_cell_keys
+
+
+def tiny_config(**overrides) -> StudyConfig:
+    defaults = dict(
+        n_sample=300,
+        n_repetitions=2,
+        models=("log_reg",),
+        dataset_sizes={"german": 600},
+    )
+    defaults.update(overrides)
+    return StudyConfig(**defaults)
+
+
+def run_serial(config, path, error_type, dataset="german"):
+    store = ResultStore(path)
+    ExperimentRunner(config, store).run_dataset_error(dataset, error_type)
+    store.save()
+    return store
+
+
+# -- expected keys ------------------------------------------------------
+
+
+def test_expected_cell_keys_missing_values():
+    keys = expected_cell_keys("german", "missing_values", 1, "log_reg", 0)
+    assert len(keys) == 6
+    assert all(key.startswith("german/missing_values/missing_values/") for key in keys)
+    assert all(key.endswith("/log_reg/rep1/seed0") for key in keys)
+
+
+def test_expected_cell_keys_outliers_cover_detector_repair_grid():
+    keys = expected_cell_keys("german", "outliers", 0, "knn", 2)
+    assert len(keys) == 9
+    detections = {key.split("/")[2] for key in keys}
+    assert detections == {"outliers_sd", "outliers_iqr", "outliers_if"}
+
+
+def test_expected_cell_keys_mislabels():
+    assert expected_cell_keys("german", "mislabels", 0, "log_reg", 0) == [
+        "german/mislabels/cleanlab/flip_labels/log_reg/rep0/seed0"
+    ]
+
+
+def test_expected_cell_keys_rejects_unknown_error_type():
+    with pytest.raises(ValueError, match="error type"):
+        expected_cell_keys("german", "typos", 0, "log_reg", 0)
+
+
+# -- planner ------------------------------------------------------------
+
+
+def test_plan_enumerates_pending_cells():
+    config = tiny_config(models=("log_reg", "knn"))
+    units = plan_work_units(
+        config, ResultStore(), datasets=("german",), error_types=("mislabels",)
+    )
+    assert [unit.repetition for unit in units] == [0, 1]
+    for unit in units:
+        assert unit.dataset == "german"
+        assert unit.error_type == "mislabels"
+        assert unit.cells == (("log_reg", 0), ("knn", 0))
+        assert unit.done_keys == ()
+
+
+def test_plan_respects_resume_store():
+    config = tiny_config(models=("log_reg", "knn"))
+    store = ResultStore()
+    done = RunRecord(
+        dataset="german",
+        error_type="mislabels",
+        detection="cleanlab",
+        repair="flip_labels",
+        model="log_reg",
+        repetition=0,
+        tuning_seed=0,
+    )
+    store.add(done)
+    units = plan_work_units(
+        config, store, datasets=("german",), error_types=("mislabels",)
+    )
+    by_rep = {unit.repetition: unit for unit in units}
+    assert by_rep[0].cells == (("knn", 0),)
+    assert by_rep[0].done_keys == (done.key,)
+    assert by_rep[1].cells == (("log_reg", 0), ("knn", 0))
+
+
+def test_plan_tracks_partially_completed_cells():
+    """A cell missing only some repair variants stays pending, with its
+    finished keys recorded so workers skip them."""
+    config = tiny_config(n_repetitions=1)
+    store = ResultStore()
+    keys = expected_cell_keys("german", "missing_values", 0, "log_reg", 0)
+    done = RunRecord.from_json(
+        {**_payload_for_key(keys[0]), "metrics": {"dirty_test_acc": 0.5}}
+    )
+    store.add(done)
+    (unit,) = plan_work_units(
+        config, store, datasets=("german",), error_types=("missing_values",)
+    )
+    assert unit.cells == (("log_reg", 0),)
+    assert unit.done_keys == (keys[0],)
+
+
+def _payload_for_key(key: str) -> dict:
+    dataset, error_type, detection, repair, model, rep, seed = key.split("/")
+    return {
+        "dataset": dataset,
+        "error_type": error_type,
+        "detection": detection,
+        "repair": repair,
+        "model": model,
+        "repetition": int(rep.removeprefix("rep")),
+        "tuning_seed": int(seed.removeprefix("seed")),
+        "metrics": {},
+    }
+
+
+def test_plan_skips_unsupported_error_types():
+    # heart does not declare missing_values
+    units = plan_work_units(
+        tiny_config(), ResultStore(), datasets=("heart",),
+        error_types=("missing_values",),
+    )
+    assert units == []
+
+
+def test_plan_rejects_unknown_error_type():
+    with pytest.raises(ValueError, match="error type"):
+        plan_work_units(
+            tiny_config(), ResultStore(), datasets=("german",),
+            error_types=("typos",),
+        )
+
+
+def test_plan_empty_when_store_complete(tmp_path):
+    config = tiny_config()
+    store = run_serial(config, tmp_path / "store.json", "mislabels")
+    assert (
+        plan_work_units(
+            config, store, datasets=("german",), error_types=("mislabels",)
+        )
+        == []
+    )
+
+
+# -- parallel == serial -------------------------------------------------
+
+
+def test_parallel_matches_serial_byte_identical(tmp_path):
+    config = tiny_config()
+    run_serial(config, tmp_path / "serial.json", "mislabels")
+
+    parallel = ResultStore(tmp_path / "parallel.json")
+    added = run_parallel_study(
+        config,
+        parallel,
+        workers=4,
+        datasets=("german",),
+        error_types=("mislabels",),
+    )
+    assert added == 2
+    assert (tmp_path / "serial.json").read_bytes() == (
+        tmp_path / "parallel.json"
+    ).read_bytes()
+    # the journal was compacted into the JSON on save
+    assert list(tmp_path.glob("*.jsonl")) == []
+
+
+def test_parallel_matches_serial_missing_values(tmp_path):
+    """Multi-version error type: 6 repairs per cell, shared dirty run."""
+    config = tiny_config(n_repetitions=1)
+    run_serial(config, tmp_path / "serial.json", "missing_values")
+
+    parallel = ResultStore(tmp_path / "parallel.json")
+    added = run_parallel_study(
+        config,
+        parallel,
+        workers=2,
+        datasets=("german",),
+        error_types=("missing_values",),
+    )
+    assert added == 6
+    assert (tmp_path / "serial.json").read_bytes() == (
+        tmp_path / "parallel.json"
+    ).read_bytes()
+
+
+def test_parallel_is_noop_on_complete_store(tmp_path):
+    config = tiny_config()
+    store = run_serial(config, tmp_path / "store.json", "mislabels")
+    assert (
+        run_parallel_study(
+            config, store, workers=2, datasets=("german",),
+            error_types=("mislabels",),
+        )
+        == 0
+    )
+
+
+def test_parallel_supports_in_memory_store():
+    config = tiny_config(n_repetitions=1)
+    store = ResultStore()
+    added = run_parallel_study(
+        config, store, workers=1, datasets=("german",), error_types=("mislabels",)
+    )
+    assert added == 1 and len(store) == 1
+
+
+# -- journal resume -----------------------------------------------------
+
+
+def test_parallel_resumes_from_journal_shard(tmp_path):
+    """Records journaled by a killed run are replayed at load and their
+    cells are not recomputed."""
+    config = tiny_config()
+    reference = run_serial(config, tmp_path / "reference.json", "mislabels")
+    rep0 = [record for record in reference.records() if record.repetition == 0]
+
+    # simulate a worker killed after completing repetition 0: its shard
+    # survives, but the compacted study.json was never written
+    resumed_path = tmp_path / "resumed" / "study.json"
+    resumed_path.parent.mkdir()
+    with ResultStore(resumed_path).journal_writer(shard="w999") as journal:
+        for record in rep0:
+            journal.write(record)
+
+    store = ResultStore(resumed_path)
+    assert len(store) == len(rep0)
+    units = plan_work_units(
+        config, store, datasets=("german",), error_types=("mislabels",)
+    )
+    assert [unit.repetition for unit in units] == [1]
+
+    added = run_parallel_study(
+        config, store, workers=2, datasets=("german",), error_types=("mislabels",)
+    )
+    assert added == 2 - len(rep0)
+    assert resumed_path.read_bytes() == (tmp_path / "reference.json").read_bytes()
+    assert list(resumed_path.parent.glob("*.jsonl")) == []
+
+
+def test_parallel_resumes_partial_cell(tmp_path):
+    """Only the missing repair variants of a half-finished cell are
+    recomputed; finished records are preserved verbatim."""
+    config = tiny_config(n_repetitions=1)
+    reference = run_serial(config, tmp_path / "reference.json", "missing_values")
+    records = list(reference.records())
+    assert len(records) == 6
+    half = records[:3]
+
+    resumed_path = tmp_path / "resumed" / "study.json"
+    resumed_path.parent.mkdir()
+    with ResultStore(resumed_path).journal_writer(shard="w1") as journal:
+        for record in half:
+            journal.write(record)
+
+    store = ResultStore(resumed_path)
+    added = run_parallel_study(
+        config, store, workers=2, datasets=("german",),
+        error_types=("missing_values",),
+    )
+    assert added == 3
+    assert resumed_path.read_bytes() == (tmp_path / "reference.json").read_bytes()
+
+
+# -- wiring -------------------------------------------------------------
+
+
+def test_run_full_study_delegates_to_parallel_executor(monkeypatch):
+    calls = {}
+
+    def fake_run_parallel_study(config, store, workers=None, progress=None):
+        calls["workers"] = workers
+        return 42
+
+    import repro.benchmark.parallel as parallel_module
+
+    monkeypatch.setattr(
+        parallel_module, "run_parallel_study", fake_run_parallel_study
+    )
+    runner = ExperimentRunner(tiny_config(workers=3), ResultStore())
+    assert runner.run_full_study() == 42
+    assert calls["workers"] == 3
+
+
+def test_config_rejects_bad_workers():
+    with pytest.raises(ValueError, match="workers"):
+        StudyConfig(workers=0)
+    with pytest.raises(ValueError, match="workers"):
+        run_parallel_study(tiny_config(), ResultStore(), workers=0)
+
+
+def test_workunit_is_picklable():
+    import pickle
+
+    unit = WorkUnit(
+        dataset="german",
+        error_type="mislabels",
+        repetition=0,
+        cells=(("log_reg", 0),),
+        done_keys=("a/b",),
+    )
+    assert pickle.loads(pickle.dumps(unit)) == unit
+
+
+def test_parallel_store_payload_is_valid_json(tmp_path):
+    config = tiny_config(n_repetitions=1)
+    store = ResultStore(tmp_path / "study.json")
+    run_parallel_study(
+        config, store, workers=2, datasets=("german",), error_types=("mislabels",)
+    )
+    payload = json.loads((tmp_path / "study.json").read_text())
+    assert len(payload["records"]) == 1
+    assert payload["records"][0]["repair"] == "flip_labels"

@@ -1,8 +1,10 @@
-"""Tests for the resumable result store."""
+"""Tests for the resumable result store and its JSONL journal."""
+
+import json
 
 import pytest
 
-from repro.benchmark import ResultStore, RunRecord
+from repro.benchmark import JournalWriter, ResultStore, RunRecord
 
 
 def make_record(repetition=0, repair="impute_mean_dummy", metrics=None):
@@ -113,3 +115,97 @@ def test_stable_key_value_mapping_across_reload(tmp_path):
 def test_json_roundtrip_of_record():
     record = make_record()
     assert RunRecord.from_json(record.to_json()) == record
+
+
+# -- JSONL journal ------------------------------------------------------
+
+
+def test_journal_replayed_on_load(tmp_path):
+    path = tmp_path / "study.json"
+    with ResultStore(path).journal_writer() as journal:
+        journal.write(make_record(repetition=0))
+        journal.write(make_record(repetition=1))
+    assert journal.path == tmp_path / "study.jsonl"
+    store = ResultStore(path)
+    assert len(store) == 2
+    assert make_record(repetition=1).key in store
+
+
+def test_journal_shards_replayed_alongside_compacted_json(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=1))
+    with store.journal_writer(shard="w2") as journal:
+        journal.write(make_record(repetition=2))
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 3
+    assert {r.repetition for r in reloaded.records()} == {0, 1, 2}
+
+
+def test_journal_replay_skips_already_compacted_records(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    record = make_record(metrics={"dirty_test_acc": 0.9})
+    store.add(record)
+    store.save()
+    # a stale shard holding the same key with different metrics must not
+    # override the compacted record
+    with store.journal_writer(shard="stale") as journal:
+        journal.write(make_record(metrics={"dirty_test_acc": 0.1}))
+    reloaded = ResultStore(path)
+    assert len(reloaded) == 1
+    assert reloaded.get(record.key).metrics["dirty_test_acc"] == 0.9
+
+
+def test_journal_replay_tolerates_truncated_trailing_line(tmp_path):
+    path = tmp_path / "study.json"
+    with ResultStore(path).journal_writer() as journal:
+        journal.write(make_record(repetition=0))
+    # simulate a writer killed mid-line
+    with (tmp_path / "study.jsonl").open("a") as handle:
+        handle.write(json.dumps(make_record(repetition=1).to_json())[:25])
+    store = ResultStore(path)
+    assert len(store) == 1
+    assert make_record(repetition=0).key in store
+
+
+def test_save_compacts_journal_shards(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w7") as journal:
+        journal.write(make_record(repetition=5))
+    store = ResultStore(path)
+    assert store.journal_paths() != []
+    store.save()
+    assert store.journal_paths() == []
+    assert list(tmp_path.glob("*.jsonl")) == []
+    # compacted records survive the shard removal
+    assert make_record(repetition=5).key in ResultStore(path)
+
+
+def test_journal_writer_requires_backing_path():
+    with pytest.raises(RuntimeError, match="path"):
+        ResultStore().journal_writer()
+
+
+def test_journal_writer_appends_across_instances(tmp_path):
+    shard = tmp_path / "study.w1.jsonl"
+    with JournalWriter(shard) as journal:
+        journal.write(make_record(repetition=0))
+    with JournalWriter(shard) as journal:
+        journal.write(make_record(repetition=1))
+    assert len(shard.read_text().strip().splitlines()) == 2
+
+
+def test_records_sorted_view_stays_correct_across_adds():
+    """The cached sorted view must invalidate on every add."""
+    store = ResultStore()
+    store.add(make_record(repetition=1))
+    assert [r.repetition for r in store.records()] == [1]
+    store.add(make_record(repetition=0))
+    assert [r.repetition for r in store.records()] == [0, 1]
+    store.add(make_record(repetition=2))
+    assert [r.repetition for r in store.records()] == [0, 1, 2]

@@ -14,9 +14,12 @@ from repro.fairness import (
     equalized_odds,
     false_positive_rate_parity,
     group_confusion_matrices,
+    group_confusions_from_masks,
+    group_masks,
     predictive_parity,
     result_store_keys,
 )
+from repro.fairness.confusion import confusion_codes
 from repro.ml.metrics import ConfusionMatrix
 from repro.tabular import Table
 
@@ -150,3 +153,62 @@ def test_group_confusion_metric_value_helper():
     assert group.metric_value(equal_opportunity) == pytest.approx(
         group.privileged.recall - group.disadvantaged.recall
     )
+
+
+# -- vectorised counting ------------------------------------------------
+
+
+def test_confusion_codes_layout():
+    codes = confusion_codes(np.array([0, 0, 1, 1]), np.array([0, 1, 0, 1]))
+    assert codes.tolist() == [0, 1, 2, 3]  # tn, fp, fn, tp
+
+
+def test_confusion_codes_reject_non_binary():
+    with pytest.raises(ValueError, match="0/1"):
+        confusion_codes(np.array([0, 2]), np.array([0, 1]))
+    with pytest.raises(ValueError, match="shape"):
+        confusion_codes(np.array([0, 1]), np.array([0]))
+
+
+def test_masked_confusions_match_per_group_counting():
+    """The bincount accumulation must agree with brute-force masked
+    confusion matrices on random inputs."""
+    from repro.ml.metrics import confusion_matrix
+
+    rng = np.random.default_rng(7)
+    for trial in range(20):
+        n = int(rng.integers(1, 200))
+        y_true = rng.integers(0, 2, size=n)
+        y_pred = rng.integers(0, 2, size=n)
+        priv = rng.random(n) < 0.5
+        dis = ~priv & (rng.random(n) < 0.8)  # not a partition, like specs
+        (group,) = group_confusions_from_masks(
+            y_true, y_pred, [("sex", priv, dis)]
+        )
+        assert group.privileged == confusion_matrix(y_true[priv], y_pred[priv])
+        assert group.disadvantaged == confusion_matrix(y_true[dis], y_pred[dis])
+
+
+def test_group_masks_reused_across_predictions():
+    table, y_true, y_pred = make_scored_table()
+    masks = group_masks(table, [SEX, IntersectionalSpec(SEX, AGE)])
+    assert [key for key, __, __ in masks] == ["sex", "sex_x_age"]
+    via_masks = group_confusions_from_masks(y_true, y_pred, masks)
+    assert via_masks[0] == group_confusion_matrices(table, y_true, y_pred, SEX)
+    assert via_masks[1] == group_confusion_matrices(
+        table, y_true, y_pred, IntersectionalSpec(SEX, AGE)
+    )
+    # a second prediction vector reuses the same masks
+    flipped = 1 - y_pred
+    again = group_confusions_from_masks(y_true, flipped, masks)
+    assert again[0] == group_confusion_matrices(table, y_true, flipped, SEX)
+
+
+def test_empty_group_yields_zero_counts():
+    table, y_true, y_pred = make_scored_table()
+    nobody = np.zeros(len(y_true), dtype=bool)
+    (group,) = group_confusions_from_masks(
+        y_true, y_pred, [("ghost", nobody, nobody)]
+    )
+    assert group.privileged.total == 0
+    assert group.disadvantaged.total == 0

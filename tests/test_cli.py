@@ -54,6 +54,32 @@ def test_study_and_tables_roundtrip(tmp_path, capsys):
     assert "TABLE XIV" in out
 
 
+def test_study_with_workers(tmp_path, capsys):
+    store_path = str(tmp_path / "store.json")
+    code = main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "2",
+            "--workers",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "planned 2 work units" in out
+    # 2 repetitions x 3 default models x 1 mislabel repair
+    assert "added 6 records (6 in store)" in out
+
+
 def test_report_command(tmp_path, capsys):
     store_path = str(tmp_path / "store.json")
     main(
