@@ -40,6 +40,20 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return number
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name in DATASET_NAMES:
@@ -90,14 +104,25 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if args.error_type
         else ["missing_values", "outliers", "mislabels"]
     )
-    if config.workers > 1:
-        from repro.benchmark import run_parallel_study
+    fault_flags = (
+        args.max_retries is not None
+        or args.cell_timeout is not None
+        or args.fsync_journal
+    )
+    if config.workers > 1 or fault_flags:
+        from repro.benchmark import ExecutorOptions, run_parallel_study
 
+        options = ExecutorOptions(
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            cell_timeout=args.cell_timeout,
+            fsync_journal=args.fsync_journal,
+        )
         total = run_parallel_study(
             config,
             store,
             datasets=names,
             error_types=error_types,
+            options=options,
             progress=lambda line: print(line, flush=True),
         )
         print(f"added {total} records ({len(store)} in store)")
@@ -209,6 +234,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes; >1 shards pending runs across a pool "
         "(results are byte-identical to a serial run)",
+    )
+    study.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=None,
+        help="re-queue attempts per failing work unit before it is "
+        "poisoned into the failures.jsonl sidecar (default 2)",
+    )
+    study.add_argument(
+        "--cell-timeout",
+        type=_positive_float,
+        default=None,
+        help="seconds one (model, tuning-seed) cell may run before the "
+        "watchdog fails it for retry (default: no timeout)",
+    )
+    study.add_argument(
+        "--fsync-journal",
+        action="store_true",
+        help="fsync every journal append (durable against power loss)",
     )
     study.set_defaults(func=_cmd_study)
 

@@ -9,9 +9,22 @@ disparity analysis (Section III) and the Section VI deep dive.
 
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.models import MODEL_NAMES, model_search
-from repro.benchmark.results import JournalWriter, ResultStore, RunRecord
+from repro.benchmark.results import (
+    JournalWriter,
+    ResultStore,
+    RunRecord,
+    record_checksum,
+)
 from repro.benchmark.runner import ExperimentRunner
-from repro.benchmark.parallel import WorkUnit, plan_work_units, run_parallel_study
+from repro.benchmark.parallel import (
+    CellTimeoutError,
+    ExecutorOptions,
+    StudyAborted,
+    WorkUnit,
+    backoff_delay,
+    plan_work_units,
+    run_parallel_study,
+)
 from repro.benchmark.impact import (
     ConfigurationImpact,
     ImpactAnalysis,
@@ -28,8 +41,13 @@ __all__ = [
     "JournalWriter",
     "ResultStore",
     "RunRecord",
+    "record_checksum",
     "ExperimentRunner",
+    "CellTimeoutError",
+    "ExecutorOptions",
+    "StudyAborted",
     "WorkUnit",
+    "backoff_delay",
     "plan_work_units",
     "run_parallel_study",
     "ConfigurationImpact",

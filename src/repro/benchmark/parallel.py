@@ -26,11 +26,41 @@ Three pieces cooperate:
 - The parent merges worker results into the master store and calls
   :meth:`ResultStore.save`, which compacts journal shards into the
   single ``{stem}.json``.
+
+The executor is additionally *crash-safe by construction* (the chaos
+suite under ``tests/chaos`` proves it by injecting faults through
+:mod:`repro.testing`):
+
+- A unit whose worker raises (or simulates a crash) is **re-queued**
+  with capped exponential backoff whose jitter is seeded from the
+  unit's coordinates — never from wall-clock randomness — and, before
+  the retry, the parent replays all journal shards so records the dead
+  worker already appended are recovered instead of recomputed.
+- A unit still failing after :attr:`ExecutorOptions.max_retries`
+  retries is **poisoned**: recorded in the ``{stem}.failures.jsonl``
+  sidecar and skipped, so one pathological cell cannot abort the study.
+- :attr:`ExecutorOptions.cell_timeout` arms a ``SIGALRM``-based
+  watchdog around every cell, turning hangs into retryable
+  :class:`CellTimeoutError` failures.
+- :attr:`ExecutorOptions.fsync_journal` makes journal appends durable
+  against power loss, and :meth:`ResultStore.verify` audits the final
+  on-disk state.
+
+Fault injection hooks: an :attr:`ExecutorOptions.fault_plan` object
+(see :class:`repro.testing.FaultPlan`) supplies per-unit injectors
+whose ``on_cell`` / ``before_append`` / ``after_append`` callbacks may
+raise or sleep at deterministic points; the executor itself is
+agnostic of the fault kinds.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import signal
+import time
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
@@ -157,20 +187,141 @@ def plan_work_units(
     return units
 
 
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded :attr:`ExecutorOptions.cell_timeout` seconds."""
+
+
+class StudyAborted(RuntimeError):
+    """The run was deliberately aborted mid-study.
+
+    Raised by the executor when :attr:`ExecutorOptions.abort_after_units`
+    is set — the chaos harness's deterministic stand-in for ``kill -9``
+    of the parent: the compacted save never happens and recovery must
+    come from the journal shards on the next run.
+    """
+
+
+@dataclass(frozen=True)
+class ExecutorOptions:
+    """Fault-tolerance knobs of :func:`run_parallel_study`.
+
+    Attributes:
+        max_retries: Re-queue attempts per failing work unit before it
+            is poisoned (recorded in ``{stem}.failures.jsonl`` and
+            skipped rather than aborting the study).
+        cell_timeout: Wall-clock seconds one ``(model, tuning_seed)``
+            cell may take before a ``SIGALRM`` watchdog raises
+            :class:`CellTimeoutError` inside the worker (None disables;
+            requires the platform to provide ``SIGALRM``).
+        fsync_journal: fsync every journal append before acknowledging
+            it (durable against power loss, slower).
+        backoff_base: First retry delay in seconds; each further
+            attempt doubles it. ``0`` disables sleeping (used by the
+            chaos tests to stay fast).
+        backoff_cap: Upper bound on any single retry delay.
+        backoff_seed: Seed of the deterministic backoff jitter. The
+            jitter is a pure function of (seed, unit coordinates,
+            attempt) — no wall-clock randomness anywhere.
+        fault_plan: Optional fault-injection plan (an object with a
+            ``unit_injector(dataset, error_type, repetition, attempt,
+            cell_timeout)`` method, see :class:`repro.testing.FaultPlan`).
+            Production runs leave this None.
+        abort_after_units: Raise :class:`StudyAborted` in the parent
+            after merging this many units — a deterministic simulated
+            kill point for crash-recovery tests.
+    """
+
+    max_retries: int = 2
+    cell_timeout: float | None = None
+    fsync_journal: bool = False
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    backoff_seed: int = 0
+    fault_plan: Any = None
+    abort_after_units: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(
+                f"cell_timeout must be > 0, got {self.cell_timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if self.abort_after_units is not None and self.abort_after_units < 1:
+            raise ValueError(
+                f"abort_after_units must be >= 1, got {self.abort_after_units}"
+            )
+
+
+def backoff_delay(
+    options: ExecutorOptions, coords: tuple[str, str, int], attempt: int
+) -> float:
+    """Deterministic capped exponential backoff for a unit's retry.
+
+    ``attempt`` counts from 1 (the first retry). The jitter factor in
+    ``[0.5, 1.5)`` is derived from a CRC-32 hash of the seed, the
+    unit's coordinates and the attempt number, so identical studies
+    back off identically.
+    """
+    if options.backoff_base <= 0:
+        return 0.0
+    raw = min(options.backoff_cap, options.backoff_base * 2 ** (attempt - 1))
+    text = f"{options.backoff_seed}|{'|'.join(map(str, coords))}|{attempt}"
+    fraction = zlib.crc32(text.encode("utf-8")) / 2**32
+    return raw * (0.5 + fraction)
+
+
+@contextmanager
+def _cell_deadline(seconds: float | None):
+    """Arm a ``SIGALRM`` watchdog that turns a hung cell into an error.
+
+    No-op when ``seconds`` is None, the platform lacks ``SIGALRM``, or
+    the caller is not the main thread of its process (pool workers and
+    the in-process executor both run cells on the main thread).
+    """
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(f"cell exceeded {seconds:g}s deadline")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not in the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 class _ShardStore:
     """Minimal store protocol for one worker's shard.
 
     Supports exactly what :class:`ExperimentRunner` needs — key
     membership and :meth:`add` — plus incremental journaling of every
     added record. Pre-seeded with the unit's completed keys so the
-    runner's pending filter skips finished repair variants.
+    runner's pending filter skips finished repair variants. An
+    optional fault injector is invoked immediately before and after
+    every journal append (the two crash windows a real worker death
+    can hit).
     """
 
     def __init__(
-        self, done_keys: Iterable[str], journal: JournalWriter | None = None
+        self,
+        done_keys: Iterable[str],
+        journal: JournalWriter | None = None,
+        injector: Any = None,
     ) -> None:
         self._seen = set(done_keys)
         self._journal = journal
+        self._injector = injector
         self.added: list[RunRecord] = []
 
     def __contains__(self, key: str) -> bool:
@@ -179,10 +330,14 @@ class _ShardStore:
     def add(self, record: RunRecord) -> None:
         if record.key in self._seen:
             raise ValueError(f"duplicate record key {record.key!r}")
-        self._seen.add(record.key)
-        self.added.append(record)
+        if self._injector is not None:
+            self._injector.before_append(record.key, self._journal)
         if self._journal is not None:
             self._journal.write(record)
+        if self._injector is not None:
+            self._injector.after_append(record.key, self._journal)
+        self._seen.add(record.key)
+        self.added.append(record)
 
 
 def _pool_context():
@@ -213,29 +368,110 @@ def _load_cached(name: str, n_rows: int, seed: int):
     return _DATASET_CACHE[key]
 
 
-def _execute_unit(
-    task: tuple[StudyConfig, WorkUnit, str | None],
-) -> tuple[WorkUnit, list[dict[str, Any]]]:
-    """Worker entry point: run one unit, journal and return its records."""
-    config, unit, journal_prefix = task
+#: Worker task: (config, unit, journal prefix, options, attempt number).
+_Task = tuple[StudyConfig, WorkUnit, "str | None", ExecutorOptions, int]
+
+
+def _run_unit(task: _Task) -> list[dict[str, Any]]:
+    config, unit, journal_prefix, options, attempt = task
     definition, table = _load_cached(
         unit.dataset, config.dataset_size(unit.dataset), config.generation_seed
     )
+    injector = None
+    if options.fault_plan is not None:
+        injector = options.fault_plan.unit_injector(
+            unit.dataset,
+            unit.error_type,
+            unit.repetition,
+            attempt=attempt,
+            cell_timeout=options.cell_timeout,
+        )
     journal = (
-        JournalWriter(f"{journal_prefix}.w{os.getpid()}.jsonl")
+        JournalWriter(
+            f"{journal_prefix}.w{os.getpid()}.jsonl", fsync=options.fsync_journal
+        )
         if journal_prefix is not None
         else None
     )
-    shard = _ShardStore(unit.done_keys, journal)
+    shard = _ShardStore(unit.done_keys, journal, injector)
     runner = ExperimentRunner(config, shard)  # type: ignore[arg-type]
+
+    def cell_guard(index: int, model_name: str, seed: int):
+        @contextmanager
+        def guarded():
+            with _cell_deadline(options.cell_timeout):
+                if injector is not None:
+                    injector.on_cell(index, model_name, seed)
+                yield
+
+        return guarded()
+
     try:
         runner.run_repetition_cells(
-            definition, table, unit.error_type, unit.repetition, unit.cells
+            definition,
+            table,
+            unit.error_type,
+            unit.repetition,
+            unit.cells,
+            cell_guard=cell_guard,
         )
     finally:
         if journal is not None:
             journal.close()
-    return unit, [record.to_json() for record in shard.added]
+    return [record.to_json() for record in shard.added]
+
+
+def _execute_unit(
+    task: _Task,
+) -> tuple[WorkUnit, list[dict[str, Any]], str | None]:
+    """Worker entry point: run one unit, journal and return its records.
+
+    Never raises: any failure — a genuine exception, a cell timeout or
+    an injected crash — is reported as ``(unit, [], error)`` so the
+    parent's retry loop stays in control of the pool. A failed attempt
+    returns no payloads even if some cells completed, mirroring a real
+    worker death; the completed records survive in the journal shard
+    and are recovered by the parent before the retry.
+    """
+    unit = task[1]
+    try:
+        return unit, _run_unit(task), None
+    except Exception as error:  # noqa: BLE001 — the parent decides
+        return unit, [], f"{type(error).__name__}: {error}"
+
+
+def _unit_coords(unit: WorkUnit) -> tuple[str, str, int]:
+    return (unit.dataset, unit.error_type, unit.repetition)
+
+
+def _replan_unit(
+    config: StudyConfig, store: ResultStore, unit: WorkUnit
+) -> WorkUnit | None:
+    """Re-derive a failed unit's pending cells against the live store.
+
+    Called after the parent replayed the journal shards of a crashed
+    attempt: cells whose records were already journaled drop out, so a
+    retry never recomputes a completed cell. Returns None when nothing
+    is pending anymore (the crash happened after the last append).
+    """
+    pending: list[Cell] = []
+    done: dict[str, None] = dict.fromkeys(unit.done_keys)
+    for model, seed in unit.cells:
+        keys = expected_cell_keys(
+            unit.dataset, unit.error_type, unit.repetition, model, seed
+        )
+        done.update((key, None) for key in keys if key in store)
+        if any(key not in store for key in keys):
+            pending.append((model, seed))
+    if not pending:
+        return None
+    return WorkUnit(
+        dataset=unit.dataset,
+        error_type=unit.error_type,
+        repetition=unit.repetition,
+        cells=tuple(pending),
+        done_keys=tuple(done),
+    )
 
 
 def run_parallel_study(
@@ -247,6 +483,7 @@ def run_parallel_study(
     models: Sequence[str] | None = None,
     progress: Callable[[str], None] | None = None,
     save: bool = True,
+    options: ExecutorOptions | None = None,
 ) -> int:
     """Run all pending cells of a study, sharded across worker processes.
 
@@ -257,11 +494,20 @@ def run_parallel_study(
     is 1 or only one unit is pending), merges the results into
     ``store`` and, when ``save`` is true and the store has a backing
     path, compacts everything into its JSON file. Returns the number
-    of new records added.
+    of new records added (including records recovered from the journal
+    shards of failed attempts).
+
+    ``options`` controls fault tolerance (see :class:`ExecutorOptions`):
+    failing units are retried with seeded capped-exponential backoff
+    after recovering their journaled records, and poisoned into the
+    ``{stem}.failures.jsonl`` sidecar once retries are exhausted —
+    the study itself keeps going. A fully successful run removes a
+    stale sidecar from an earlier run.
     """
     workers = config.workers if workers is None else workers
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    options = ExecutorOptions() if options is None else options
     units = plan_work_units(
         config, store, datasets=datasets, error_types=error_types, models=models
     )
@@ -272,35 +518,140 @@ def run_parallel_study(
             f"for {workers} worker(s)"
         )
     if not units:
+        # nothing pending, but a resumed kill may still owe a compaction
+        # (journal shards holding every record of the aborted run) and a
+        # stale failures sidecar its clean bill of health
+        if save and store.path is not None:
+            if store.journal_paths():
+                store.save()
+            _write_failures(store, [])
         return 0
     journal_prefix = (
         str(store.path.with_suffix("")) if store.path is not None else None
     )
-    tasks = [(config, unit, journal_prefix) for unit in units]
     added = 0
+    merged_units = 0
+    attempts: dict[tuple[str, str, int], int] = {}
+    failures: list[dict[str, Any]] = []
 
-    def merge(unit: WorkUnit, payloads: list[dict[str, Any]]) -> int:
+    def merge(unit: WorkUnit, payloads: list[dict[str, Any]]) -> None:
+        nonlocal added, merged_units
         merged = 0
         for payload in payloads:
             record = RunRecord.from_json(payload)
             if record.key not in store:
                 store.add(record)
                 merged += 1
+        added += merged
+        merged_units += 1
         if progress is not None:
             progress(
                 f"{unit.dataset}/{unit.error_type}/rep{unit.repetition}: "
                 f"+{merged}"
             )
-        return merged
+        if (
+            options.abort_after_units is not None
+            and merged_units >= options.abort_after_units
+        ):
+            raise StudyAborted(
+                f"aborted after {merged_units} unit(s) (simulated kill)"
+            )
+
+    def handle_failure(unit: WorkUnit, error: str) -> WorkUnit | None:
+        """Recover journaled records; re-queue or poison the unit."""
+        nonlocal added
+        added += store.replay_journal()
+        coords = _unit_coords(unit)
+        attempts[coords] = attempt = attempts.get(coords, 0) + 1
+        label = f"{unit.dataset}/{unit.error_type}/rep{unit.repetition}"
+        replanned = _replan_unit(config, store, unit)
+        if replanned is None:
+            if progress is not None:
+                progress(f"{label}: recovered from journal after {error}")
+            return None
+        if attempt > options.max_retries:
+            failures.append(
+                {
+                    "dataset": unit.dataset,
+                    "error_type": unit.error_type,
+                    "repetition": unit.repetition,
+                    "attempts": attempt,
+                    "error": error,
+                    "pending_cells": [list(cell) for cell in replanned.cells],
+                }
+            )
+            if progress is not None:
+                progress(f"{label}: poisoned after {attempt} attempt(s): {error}")
+            return None
+        if progress is not None:
+            progress(
+                f"{label}: retry {attempt}/{options.max_retries} after {error}"
+            )
+        return replanned
+
+    def run_rounds(execute: Callable[[list[_Task]], Iterable]) -> None:
+        queue = list(units)
+        while queue:
+            tasks: list[_Task] = [
+                (
+                    config,
+                    unit,
+                    journal_prefix,
+                    options,
+                    attempts.get(_unit_coords(unit), 0),
+                )
+                for unit in queue
+            ]
+            queue = []
+            delays: list[float] = []
+            for unit, payloads, error in execute(tasks):
+                if error is None:
+                    merge(unit, payloads)
+                    continue
+                replanned = handle_failure(unit, error)
+                if replanned is not None:
+                    queue.append(replanned)
+                    delays.append(
+                        backoff_delay(
+                            options,
+                            _unit_coords(replanned),
+                            attempts[_unit_coords(replanned)],
+                        )
+                    )
+            if queue and delays and max(delays) > 0:
+                time.sleep(max(delays))
 
     if workers == 1 or len(units) == 1:
-        for task in tasks:
-            added += merge(*_execute_unit(task))
+        run_rounds(lambda tasks: map(_execute_unit, tasks))
     else:
         context = _pool_context()
         with context.Pool(processes=min(workers, len(units))) as pool:
-            for unit, payloads in pool.imap_unordered(_execute_unit, tasks):
-                added += merge(unit, payloads)
+            run_rounds(
+                lambda tasks: pool.imap_unordered(_execute_unit, tasks)
+            )
+    if store.path is not None:
+        _write_failures(store, failures)
     if save and store.path is not None:
         store.save()
     return added
+
+
+def _write_failures(store: ResultStore, failures: list[dict[str, Any]]) -> None:
+    """Persist poisoned units to the sidecar, or clear a stale one.
+
+    A run that poisoned nothing removes any existing sidecar: its units
+    either completed now or were never planned, so stale entries would
+    only mislead :meth:`ResultStore.verify`.
+    """
+    path = store.failures_path
+    if path is None:
+        return
+    if not failures:
+        path.unlink(missing_ok=True)
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        for failure in failures:
+            handle.write(json.dumps(failure) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())

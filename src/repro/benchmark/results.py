@@ -18,11 +18,20 @@ store's ``{stem}.json``. Loading a store replays any journal shards on
 top of the compacted JSON, so a killed run resumes mid-shard without
 losing completed records; :meth:`ResultStore.save` compacts everything
 back into the single JSON file and removes the shards.
+
+Every persisted payload — journal lines and compacted records alike —
+carries a ``checksum`` field (CRC-32 of the canonical record JSON), so
+torn writes and bit rot are detectable: replay skips lines whose
+checksum does not match, and :meth:`ResultStore.verify` audits the
+whole on-disk state (duplicate keys, conflicting payloads, orphan
+shards, checksum mismatches, poisoned units) after a run.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -92,16 +101,36 @@ class RunRecord:
         )
 
 
+def record_checksum(payload: dict[str, Any]) -> str:
+    """CRC-32 (8 hex digits) of the canonical JSON of a record payload.
+
+    The ``checksum`` field itself is excluded, so the value is stable
+    whether or not the payload already carries one.
+    """
+    body = {name: value for name, value in payload.items() if name != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(canonical.encode('utf-8')):08x}"
+
+
 class JournalWriter:
     """Append-only JSONL writer for incremental record persistence.
 
-    Each :meth:`write` appends one ``RunRecord.to_json()`` line and
-    flushes, so every completed record survives a crash of the writing
-    process. Usable as a context manager.
+    Each :meth:`write` appends one ``RunRecord.to_json()`` line
+    (augmented with its ``checksum``) and flushes, so every completed
+    record survives a crash of the writing process; with
+    ``fsync=True`` every line is also fsynced to disk before
+    :meth:`write` returns, surviving power loss as well. Usable as a
+    context manager; the handle is closed (and therefore flushed) even
+    when an exception is propagating out of the ``with`` block.
+
+    When appending to a shard whose last write was torn (no trailing
+    newline — the writer died mid-line), a newline is inserted first so
+    the partial line stays isolated and replay skips exactly it.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
         self._path = Path(path)
+        self._fsync = fsync
         self._handle = None
 
     @property
@@ -109,24 +138,49 @@ class JournalWriter:
         """The shard file this writer appends to."""
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying handle is closed (or never opened)."""
+        return self._handle is None
+
+    def _open(self):
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        needs_newline = False
+        if self._path.exists() and self._path.stat().st_size > 0:
+            with self._path.open("rb") as existing:
+                existing.seek(-1, os.SEEK_END)
+                needs_newline = existing.read(1) != b"\n"
+        handle = self._path.open("a")
+        if needs_newline:
+            handle.write("\n")
+        return handle
+
     def write(self, record: RunRecord) -> None:
-        """Append one record as a JSON line and flush."""
+        """Append one checksummed record as a JSON line and flush."""
         if self._handle is None:
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self._path.open("a")
-        self._handle.write(json.dumps(record.to_json()) + "\n")
+            self._handle = self._open()
+        payload = record.to_json()
+        payload["checksum"] = record_checksum(payload)
+        self._handle.write(json.dumps(payload) + "\n")
         self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
-        """Close the underlying file handle (if ever opened)."""
+        """Flush and close the underlying file handle (if ever opened)."""
         if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JournalWriter":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # close unconditionally: a propagating exception must not leave
+        # journaled records sitting in userspace buffers
         self.close()
 
 
@@ -158,16 +212,33 @@ class ResultStore:
     # -- JSONL journal ---------------------------------------------------
 
     def journal_paths(self) -> list[Path]:
-        """Existing journal shard files for this store, sorted by name."""
+        """Existing journal shard files for this store, sorted by name.
+
+        The ``{stem}.failures.jsonl`` sidecar (poisoned work units, see
+        :mod:`repro.benchmark.parallel`) is not a record journal and is
+        excluded.
+        """
         if self._path is None:
             return []
         stem = self._path.stem
         parent = self._path.parent
-        paths = sorted(parent.glob(f"{stem}.*.jsonl"))
+        failures = self.failures_path
+        paths = sorted(
+            path
+            for path in parent.glob(f"{stem}.*.jsonl")
+            if path != failures
+        )
         default = parent / f"{stem}.jsonl"
         if default.exists():
             paths.insert(0, default)
         return paths
+
+    @property
+    def failures_path(self) -> Path | None:
+        """Sidecar recording poisoned work units (None for in-memory)."""
+        if self._path is None:
+            return None
+        return self._path.parent / f"{self._path.stem}.failures.jsonl"
 
     def journal_writer(self, shard: str | None = None) -> JournalWriter:
         """An append-only writer for this store's journal.
@@ -184,13 +255,17 @@ class ResultStore:
         )
         return JournalWriter(self._path.parent / name)
 
-    def _replay_journal(self) -> int:
-        """Replay journal shards on top of the compacted JSON.
+    def replay_journal(self) -> int:
+        """Replay journal shards on top of the current records.
 
         Records whose key is already present are skipped (they were
-        compacted before the shard was removed); undecodable lines —
-        typically a partial trailing line from a killed writer — are
-        ignored. Returns the number of records recovered.
+        compacted before the shard was removed, or merged in-memory);
+        undecodable lines — typically a partial trailing line from a
+        killed writer — and lines whose ``checksum`` does not match
+        their content are ignored. Returns the number of records
+        recovered. Safe to call repeatedly: parallel executors call it
+        after a worker failure to recover every record the dead worker
+        journaled before crashing.
         """
         recovered = 0
         for shard in self.journal_paths():
@@ -204,6 +279,9 @@ class ResultStore:
                         record = RunRecord.from_json(payload)
                     except (ValueError, KeyError, TypeError):
                         continue
+                    checksum = payload.get("checksum")
+                    if checksum is not None and checksum != record_checksum(payload):
+                        continue
                     if record.key not in self._records:
                         self._records[record.key] = record
                         recovered += 1
@@ -211,25 +289,145 @@ class ResultStore:
             self._sorted = None
         return recovered
 
+    # backwards-compatible alias (pre-hardening private name)
+    _replay_journal = replay_journal
+
     def save(self) -> None:
         """Persist all records to the store's JSON path.
 
-        Compacts the store: after the atomic rewrite of ``{stem}.json``
-        every journal shard is removed, since its records are now part
-        of the compacted file.
+        Compacts the store: journal shards are replayed one final time
+        (so records journaled by workers but never merged in-memory —
+        e.g. from a crashed-and-poisoned unit — cannot be lost), the
+        full payload is written to a temporary file, flushed and
+        fsynced, and atomically renamed over ``{stem}.json``; only then
+        are the shards removed. A crash at any point mid-compaction
+        therefore leaves either the old or the new file intact, never a
+        partial one, and never drops a journaled record.
         """
         if self._path is None:
             raise RuntimeError("this ResultStore has no backing path")
+        self.replay_journal()
         payload = {
-            "records": [record.to_json() for __, record in self._sorted_items()]
+            "records": [
+                {**body, "checksum": record_checksum(body)}
+                for body in (
+                    record.to_json() for __, record in self._sorted_items()
+                )
+            ]
         }
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        tmp_path = self._path.with_suffix(".tmp")
-        with tmp_path.open("w") as handle:
-            json.dump(payload, handle, indent=1)
-        tmp_path.replace(self._path)
+        tmp_path = self._path.with_name(self._path.name + ".tmp")
+        try:
+            with tmp_path.open("w") as handle:
+                json.dump(payload, handle, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp_path.replace(self._path)
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            raise
         for shard in self.journal_paths():
             shard.unlink()
+
+    def verify(self) -> list[str]:
+        """Audit the on-disk state; returns human-readable violations.
+
+        Checks, across the compacted JSON and every journal shard:
+
+        - duplicate keys inside the compacted file,
+        - the same key persisted with *conflicting* payloads anywhere
+          (identical re-journaled copies from a retried worker are
+          benign and not flagged),
+        - per-record checksum mismatches,
+        - undecodable journal lines other than a torn trailing line,
+        - orphan shards — shards fully contained in the compacted JSON,
+          i.e. a compaction that crashed between rename and cleanup,
+        - a non-empty ``{stem}.failures.jsonl`` sidecar (poisoned work
+          units mean the study is incomplete).
+
+        An empty list means the persisted study is internally
+        consistent. In-memory stores trivially verify clean.
+        """
+        issues: list[str] = []
+        if self._path is None:
+            return issues
+        canonical: dict[str, str] = {}
+
+        def canonical_body(payload: dict[str, Any]) -> str:
+            body = {k: v for k, v in payload.items() if k != "checksum"}
+            return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+        def check_payload(payload: dict[str, Any], where: str) -> None:
+            checksum = payload.get("checksum")
+            if checksum is not None and checksum != record_checksum(payload):
+                issues.append(f"{where}: checksum mismatch")
+                return
+            try:
+                key = RunRecord.from_json(payload).key
+            except (KeyError, TypeError, ValueError):
+                issues.append(f"{where}: not a record payload")
+                return
+            body = canonical_body(payload)
+            if key in canonical and canonical[key] != body:
+                issues.append(f"{where}: conflicting payloads for key {key!r}")
+            canonical.setdefault(key, body)
+
+        if self._path.exists():
+            try:
+                with self._path.open("r") as handle:
+                    compacted = json.load(handle)
+                records = compacted["records"]
+            except (ValueError, KeyError, TypeError):
+                issues.append(f"{self._path.name}: unreadable store file")
+                records = []
+            seen: set[str] = set()
+            for index, payload in enumerate(records):
+                where = f"{self._path.name}: record {index}"
+                check_payload(payload, where)
+                try:
+                    key = RunRecord.from_json(payload).key
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if key in seen:
+                    issues.append(f"{where}: duplicate key {key!r}")
+                seen.add(key)
+        else:
+            seen = set()
+        for shard in self.journal_paths():
+            lines = shard.read_text().splitlines()
+            shard_keys: list[str] = []
+            for index, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                where = f"{shard.name}: line {index + 1}"
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    if index == len(lines) - 1:
+                        continue  # torn trailing write, skipped at replay
+                    issues.append(f"{where}: undecodable journal line")
+                    continue
+                check_payload(payload, where)
+                try:
+                    shard_keys.append(RunRecord.from_json(payload).key)
+                except (KeyError, TypeError, ValueError):
+                    continue
+            if shard_keys and seen and all(key in seen for key in shard_keys):
+                issues.append(
+                    f"{shard.name}: orphan shard (all {len(shard_keys)} "
+                    "records already compacted)"
+                )
+        failures = self.failures_path
+        if failures is not None and failures.exists():
+            poisoned = [
+                line for line in failures.read_text().splitlines() if line.strip()
+            ]
+            if poisoned:
+                issues.append(
+                    f"{failures.name}: {len(poisoned)} poisoned work unit(s) "
+                    "recorded — study incomplete"
+                )
+        return issues
 
     # -- record access ---------------------------------------------------
 

@@ -38,6 +38,7 @@ in any order (including in parallel worker processes, see
 from __future__ import annotations
 
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -180,13 +181,19 @@ class ExperimentRunner:
         repetition: int,
         cells: "list[Cell] | tuple[Cell, ...]",
         progress=None,
+        cell_guard=None,
     ) -> int:
         """Run selected ``(model, tuning_seed)`` cells of one repetition.
 
         Version preparation (and the per-version featurisation/mask
         caches) happens once and is shared by every cell, which is the
         unit of work the parallel scheduler ships to worker processes.
-        Returns the number of new records added.
+        ``cell_guard``, when given, is called as
+        ``cell_guard(index, model_name, seed)`` and must return a
+        context manager entered around that cell's evaluation — the
+        hook the parallel executor uses for per-cell timeouts and the
+        chaos harness for fault injection. Returns the number of new
+        records added.
         """
         if error_type not in ERROR_TYPES:
             raise ValueError(
@@ -199,17 +206,23 @@ class ExperimentRunner:
             return 0
         dirty, repaired_versions = versions
         added = 0
-        for model_name, seed in cells:
-            added += self._evaluate_model(
-                definition,
-                error_type,
-                dirty,
-                repaired_versions,
-                model_name,
-                repetition,
-                seed,
-                progress,
+        for index, (model_name, seed) in enumerate(cells):
+            guard = (
+                nullcontext()
+                if cell_guard is None
+                else cell_guard(index, model_name, seed)
             )
+            with guard:
+                added += self._evaluate_model(
+                    definition,
+                    error_type,
+                    dirty,
+                    repaired_versions,
+                    model_name,
+                    repetition,
+                    seed,
+                    progress,
+                )
         return added
 
     def run_full_study(self, progress=None, workers: int | None = None) -> int:

@@ -1,0 +1,82 @@
+"""Deterministic fault-injection and chaos-testing subsystem.
+
+Everything needed to *prove* the parallel study executor's
+crash-safety story instead of trusting it:
+
+- :class:`Fault` / :class:`FaultPlan` — a seeded schedule of faults
+  keyed by work-unit coordinates (never wall-clock), covering worker
+  crashes before/after a journal append, torn journal writes,
+  transient cell exceptions and hung cells.
+- :class:`FaultyExecutor` — runs the real parallel executor under a
+  plan, with retries, per-cell timeouts and simulated parent kills.
+- :func:`repro.testing.fixtures.chaos_study` — a pytest fixture
+  driving a tiny real study to byte-identical recovery, and
+  :mod:`repro.testing.strategies` — hypothesis strategies over plans.
+
+The production executor never imports this package; it only calls the
+``fault_plan`` protocol when a test hands it one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmark import ExecutorOptions, ResultStore, run_parallel_study
+from repro.testing.faults import (
+    APPEND_FAULT_KINDS,
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    SimulatedWorkerCrash,
+    TransientCellError,
+    UnitInjector,
+    truncate_tail,
+)
+
+
+@dataclass(frozen=True)
+class FaultyExecutor:
+    """Runs the real parallel executor under a fault plan.
+
+    A thin, declarative front for the chaos tests::
+
+        executor = FaultyExecutor(plan, max_retries=2)
+        executor.run(config, store, workers=2, datasets=("german",))
+
+    Uses zero backoff by default so injected retries don't sleep.
+    """
+
+    plan: FaultPlan | None = None
+    max_retries: int = 2
+    cell_timeout: float | None = None
+    fsync_journal: bool = False
+    abort_after_units: int | None = None
+    backoff_base: float = 0.0
+
+    def options(self) -> ExecutorOptions:
+        """The executor options this wrapper translates to."""
+        return ExecutorOptions(
+            max_retries=self.max_retries,
+            cell_timeout=self.cell_timeout,
+            fsync_journal=self.fsync_journal,
+            backoff_base=self.backoff_base,
+            fault_plan=self.plan,
+            abort_after_units=self.abort_after_units,
+        )
+
+    def run(self, config, store: ResultStore, **kwargs) -> int:
+        """Run all pending cells under the plan; returns records added."""
+        return run_parallel_study(config, store, options=self.options(), **kwargs)
+
+
+__all__ = [
+    "APPEND_FAULT_KINDS",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultyExecutor",
+    "SimulatedWorkerCrash",
+    "TransientCellError",
+    "UnitInjector",
+    "truncate_tail",
+]

@@ -1,0 +1,284 @@
+"""Deterministic fault injection for the parallel study executor.
+
+The chaos-testing contract: every fault is scheduled by **work-unit
+coordinates** — ``(dataset, error_type, repetition)``, a cell index or
+an append ordinal, and an attempt window — never by wall-clock time or
+global RNG state. Running the same :class:`FaultPlan` against the same
+study twice injects exactly the same faults at exactly the same
+points, which is what lets the chaos suite assert *byte-identical*
+recovery against a serial baseline.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+- ``crash_pre_append`` — the worker dies after computing a record but
+  *before* appending it to its journal shard (the record is lost and
+  must be recomputed on retry).
+- ``crash_post_append`` — the worker dies immediately *after* the
+  append (the record survives in the shard; the executor must recover
+  it from the journal instead of recomputing it).
+- ``truncate_journal`` — a torn write: the freshly appended journal
+  line is truncated mid-byte and the worker dies (replay must skip the
+  partial line; the record is recomputed).
+- ``transient_error`` — a cell raises on its first ``attempts``
+  attempts and then succeeds (exercises the retry path).
+- ``slow_cell`` — a cell sleeps past the executor's ``cell_timeout``
+  (exercises the watchdog / poison path).
+
+The executor is agnostic of these kinds: it only calls
+:meth:`FaultPlan.unit_injector` and the returned injector's
+``on_cell`` / ``before_append`` / ``after_append`` hooks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+FAULT_KINDS = (
+    "crash_pre_append",
+    "crash_post_append",
+    "truncate_journal",
+    "transient_error",
+    "slow_cell",
+)
+
+#: Fault kinds triggered around a journal append (``at`` is the append
+#: ordinal within the unit); the rest trigger at a cell boundary
+#: (``at`` is the cell index).
+APPEND_FAULT_KINDS = frozenset(
+    {"crash_pre_append", "crash_post_append", "truncate_journal"}
+)
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Stand-in for a worker process dying at an injected point."""
+
+
+class TransientCellError(RuntimeError):
+    """An injected once-off (or N-off) cell failure."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault, keyed by work-unit coordinates.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        dataset: Target unit's dataset name.
+        error_type: Target unit's error type.
+        repetition: Target unit's repetition index.
+        at: Cell index (cell-boundary kinds) or append ordinal
+            (append kinds) within the unit at which the fault fires.
+        attempts: The fault fires while the unit's attempt number is
+            below this (1 = first attempt only, so a retry succeeds;
+            a large value poisons the unit).
+    """
+
+    kind: str
+    dataset: str
+    error_type: str
+    repetition: int
+    at: int = 0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; valid: {FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    @property
+    def unit(self) -> tuple[str, str, int]:
+        """The targeted work-unit coordinates."""
+        return (self.dataset, self.error_type, self.repetition)
+
+
+def truncate_tail(path, drop_fraction: float = 0.5) -> None:
+    """Simulate a torn write: cut the final journal line mid-byte.
+
+    Removes the trailing newline and the trailing ``drop_fraction`` of
+    the last line's bytes, leaving a partial line that cannot decode as
+    JSON — exactly what a worker killed inside ``write(2)`` leaves
+    behind.
+    """
+    data = path.read_bytes()
+    if not data:
+        return
+    body = data[:-1] if data.endswith(b"\n") else data
+    head, _, last = body.rpartition(b"\n")
+    prefix = head + b"\n" if head or body.startswith(b"\n") else b""
+    keep = max(1, int(len(last) * (1.0 - drop_fraction)))
+    if keep >= len(last):
+        keep = max(1, len(last) - 1)
+    with path.open("wb") as handle:
+        handle.write(prefix + last[:keep])
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class UnitInjector:
+    """Applies one unit's scheduled faults inside a worker attempt.
+
+    Created fresh per ``(unit, attempt)`` by
+    :meth:`FaultPlan.unit_injector`; stateful only in the append
+    counter. The executor calls :meth:`on_cell` at each cell boundary
+    (inside the cell-timeout watchdog, so an injected sleep is
+    interruptible) and :meth:`before_append` / :meth:`after_append`
+    around each journal write.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[Fault],
+        attempt: int,
+        cell_timeout: float | None = None,
+        slow_factor: float = 4.0,
+    ) -> None:
+        self._faults = tuple(faults)
+        self._attempt = attempt
+        self._cell_timeout = cell_timeout
+        self._slow_factor = slow_factor
+        self._appends = 0
+
+    def _active(self, kind: str, at: int) -> Fault | None:
+        for fault in self._faults:
+            if (
+                fault.kind == kind
+                and fault.at == at
+                and self._attempt < fault.attempts
+            ):
+                return fault
+        return None
+
+    def on_cell(self, index: int, model: str, seed: int) -> None:
+        """Cell-boundary hook: may raise or sleep past the deadline."""
+        if self._active("transient_error", index) is not None:
+            raise TransientCellError(
+                f"injected transient error in cell {index} ({model}/seed{seed})"
+            )
+        if self._active("slow_cell", index) is not None:
+            if self._cell_timeout is not None:
+                time.sleep(self._cell_timeout * self._slow_factor)
+            else:
+                time.sleep(0.05)
+
+    def before_append(self, key: str, journal: Any) -> None:
+        """Pre-append crash window."""
+        ordinal = self._appends
+        self._appends += 1
+        if self._active("crash_pre_append", ordinal) is not None:
+            raise SimulatedWorkerCrash(
+                f"injected crash before journal append {ordinal} ({key})"
+            )
+
+    def after_append(self, key: str, journal: Any) -> None:
+        """Post-append crash window (including the torn-write variant)."""
+        ordinal = self._appends - 1
+        if self._active("truncate_journal", ordinal) is not None:
+            if journal is not None:
+                journal.close()
+                truncate_tail(journal.path)
+            raise SimulatedWorkerCrash(
+                f"injected torn write at journal append {ordinal} ({key})"
+            )
+        if self._active("crash_post_append", ordinal) is not None:
+            raise SimulatedWorkerCrash(
+                f"injected crash after journal append {ordinal} ({key})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, coordinate-keyed schedule of faults for one study.
+
+    Satisfies the ``fault_plan`` protocol of
+    :class:`repro.benchmark.ExecutorOptions`. Plans are immutable,
+    picklable (they cross the fork boundary into pool workers) and
+    purely declarative: all scheduling state lives in the per-attempt
+    :class:`UnitInjector`.
+
+    Attributes:
+        faults: The scheduled faults.
+        seed: Identifying seed (used by :meth:`scheduled` and recorded
+            for reproducibility).
+        slow_factor: Multiple of the executor's cell timeout a
+            ``slow_cell`` fault sleeps for.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+    slow_factor: float = 4.0
+
+    def faults_for(
+        self, dataset: str, error_type: str, repetition: int
+    ) -> tuple[Fault, ...]:
+        """All faults scheduled for one work unit (any attempt)."""
+        unit = (dataset, error_type, repetition)
+        return tuple(fault for fault in self.faults if fault.unit == unit)
+
+    def unit_injector(
+        self,
+        dataset: str,
+        error_type: str,
+        repetition: int,
+        attempt: int = 0,
+        cell_timeout: float | None = None,
+    ) -> UnitInjector | None:
+        """Injector for one unit attempt (None when nothing scheduled)."""
+        faults = self.faults_for(dataset, error_type, repetition)
+        if not faults:
+            return None
+        return UnitInjector(
+            faults,
+            attempt=attempt,
+            cell_timeout=cell_timeout,
+            slow_factor=self.slow_factor,
+        )
+
+    @classmethod
+    def scheduled(
+        cls,
+        seed: int,
+        units: Iterable[tuple[str, str, int]],
+        kinds: Sequence[str] = FAULT_KINDS,
+        rate: float = 0.5,
+        max_at: int = 1,
+        attempts: int = 1,
+        slow_factor: float = 4.0,
+    ) -> "FaultPlan":
+        """A pseudo-random plan derived purely from ``seed`` and coords.
+
+        For each unit a CRC-32 hash of ``(seed, coordinates)`` decides
+        whether a fault fires (probability ``rate``), which ``kind``
+        it is and at which cell/append ordinal (``0..max_at``) — no
+        global RNG, no wall clock, so the schedule is reproducible
+        from the seed alone.
+        """
+        if not kinds:
+            raise ValueError("kinds must not be empty")
+        faults = []
+        for dataset, error_type, repetition in units:
+            digest = zlib.crc32(
+                f"{seed}|{dataset}|{error_type}|{repetition}".encode("utf-8")
+            )
+            if (digest & 0xFFFF) / 0x10000 >= rate:
+                continue
+            kind = kinds[(digest >> 16) % len(kinds)]
+            faults.append(
+                Fault(
+                    kind=kind,
+                    dataset=dataset,
+                    error_type=error_type,
+                    repetition=repetition,
+                    at=(digest >> 24) % (max_at + 1),
+                    attempts=attempts,
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed, slow_factor=slow_factor)

@@ -1,0 +1,73 @@
+"""Hypothesis strategies for generating fault-injection plans.
+
+Used by the randomized chaos sweeps (``pytest -m slow``) to explore
+arbitrary combinations of fault kinds, target coordinates and attempt
+windows. All strategies produce plain :class:`repro.testing.Fault` /
+:class:`repro.testing.FaultPlan` values, so shrinking yields minimal
+fault schedules when a recovery property fails.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from hypothesis import strategies as st
+
+from repro.testing.faults import FAULT_KINDS, Fault, FaultPlan
+
+#: Work-unit coordinates: (dataset, error_type, repetition).
+UnitCoords = "tuple[str, str, int]"
+
+
+def fault_kinds(kinds: Sequence[str] = FAULT_KINDS) -> st.SearchStrategy[str]:
+    """One of the injectable fault kinds."""
+    return st.sampled_from(tuple(kinds))
+
+
+def faults(
+    units: Sequence[tuple[str, str, int]],
+    kinds: Sequence[str] = FAULT_KINDS,
+    max_at: int = 2,
+    max_attempts: int = 3,
+) -> st.SearchStrategy[Fault]:
+    """A single fault aimed at one of the given work units."""
+    if not units:
+        raise ValueError("units must not be empty")
+
+    def build(unit: tuple[str, str, int], kind: str, at: int, attempts: int):
+        dataset, error_type, repetition = unit
+        return Fault(
+            kind=kind,
+            dataset=dataset,
+            error_type=error_type,
+            repetition=repetition,
+            at=at,
+            attempts=attempts,
+        )
+
+    return st.builds(
+        build,
+        unit=st.sampled_from(tuple(units)),
+        kind=fault_kinds(kinds),
+        at=st.integers(min_value=0, max_value=max_at),
+        attempts=st.integers(min_value=1, max_value=max_attempts),
+    )
+
+
+def fault_plans(
+    units: Sequence[tuple[str, str, int]],
+    kinds: Sequence[str] = FAULT_KINDS,
+    max_faults: int = 3,
+    max_at: int = 2,
+    max_attempts: int = 3,
+) -> st.SearchStrategy[FaultPlan]:
+    """A plan of up to ``max_faults`` faults over the given units.
+
+    Duplicate (kind, unit, at) combinations are deduplicated so every
+    generated fault is observable.
+    """
+    return st.lists(
+        faults(units, kinds=kinds, max_at=max_at, max_attempts=max_attempts),
+        max_size=max_faults,
+        unique_by=lambda fault: (fault.kind, fault.unit, fault.at),
+    ).map(lambda fs: FaultPlan(faults=tuple(fs)))

@@ -209,3 +209,187 @@ def test_records_sorted_view_stays_correct_across_adds():
     assert [r.repetition for r in store.records()] == [0, 1]
     store.add(make_record(repetition=2))
     assert [r.repetition for r in store.records()] == [0, 1, 2]
+
+
+# -- crash-safety regressions -------------------------------------------
+
+
+def test_journal_writer_closes_on_propagating_exception(tmp_path):
+    """A crash inside the ``with`` block must still flush and close the
+    shard so the journaled lines survive the worker's death."""
+    shard = tmp_path / "study.w1.jsonl"
+    with pytest.raises(RuntimeError, match="boom"):
+        with JournalWriter(shard) as journal:
+            journal.write(make_record(repetition=0))
+            raise RuntimeError("boom")
+    assert journal.closed
+    assert len(shard.read_text().splitlines()) == 1
+
+
+def test_journal_writer_close_is_idempotent(tmp_path):
+    journal = JournalWriter(tmp_path / "study.w1.jsonl")
+    journal.write(make_record())
+    journal.close()
+    journal.close()
+    assert journal.closed
+
+
+def test_journal_fsync_option_smoke(tmp_path):
+    shard = tmp_path / "study.w1.jsonl"
+    with JournalWriter(shard, fsync=True) as journal:
+        journal.write(make_record(repetition=0))
+        journal.write(make_record(repetition=1))
+    assert len(shard.read_text().splitlines()) == 2
+
+
+def test_journal_append_after_torn_tail_starts_fresh_line(tmp_path):
+    """Appending to a shard whose last write was torn mid-line must not
+    glue the new record onto the partial one."""
+    shard = tmp_path / "study.w1.jsonl"
+    with JournalWriter(shard) as journal:
+        journal.write(make_record(repetition=0))
+    with shard.open("a") as handle:
+        handle.write('{"dataset": "ger')  # torn write, no newline
+    with JournalWriter(shard) as journal:
+        journal.write(make_record(repetition=1))
+    lines = shard.read_text().splitlines()
+    assert len(lines) == 3
+    assert json.loads(lines[2])["repetition"] == 1
+
+
+def test_save_failure_preserves_existing_file(tmp_path):
+    """An exception mid-save must leave the previous compacted file
+    untouched and no temp file behind (atomic temp-file + rename)."""
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    before = path.read_bytes()
+    broken = ResultStore(path)
+    broken.add(make_record(repetition=1, metrics={"bad": object()}))
+    with pytest.raises(TypeError):
+        broken.save()
+    assert path.read_bytes() == before
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_save_replays_journal_before_deleting_shards(tmp_path):
+    """Records living only in shards must survive compaction even when
+    the saving store never loaded them itself."""
+    path = tmp_path / "study.json"
+    seed = ResultStore(path)
+    with seed.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    store = ResultStore()  # in-memory: has not replayed the shard
+    store._path = path
+    store.save()
+    assert list(tmp_path.glob("*.jsonl")) == []
+    assert make_record(repetition=0).key in ResultStore(path)
+
+
+# -- store verification --------------------------------------------------
+
+
+def test_verify_clean_store(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    store = ResultStore(path)
+    assert store.verify() == []
+    store.save()
+    assert store.verify() == []
+
+
+def test_verify_in_memory_store_is_trivially_clean():
+    assert ResultStore().verify() == []
+
+
+def test_verify_flags_checksum_mismatch(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    shard = path.with_name("study.w1.jsonl")
+    payload = json.loads(shard.read_text())
+    payload["metrics"]["dirty_test_acc"] = 0.99  # bit-rot the payload
+    shard.write_text(json.dumps(payload) + "\n")
+    violations = ResultStore(path).verify()
+    assert any("checksum mismatch" in violation for violation in violations)
+
+
+def test_verify_flags_duplicate_compacted_keys(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    compacted = json.loads(path.read_text())
+    compacted["records"].append(compacted["records"][0])
+    path.write_text(json.dumps(compacted))
+    violations = ResultStore(path).verify()
+    assert any("duplicate key" in violation for violation in violations)
+
+
+def test_verify_flags_conflicting_payloads(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0, metrics={"dirty_test_acc": 0.1}))
+    with store.journal_writer(shard="w2") as journal:
+        journal.write(make_record(repetition=0, metrics={"dirty_test_acc": 0.9}))
+    violations = ResultStore(path).verify()
+    assert any("conflicting payloads" in violation for violation in violations)
+
+
+def test_verify_tolerates_identical_rejournaled_copies(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+        journal.write(make_record(repetition=0))
+    assert ResultStore(path).verify() == []
+
+
+def test_verify_flags_orphan_shard(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    store = ResultStore(path)
+    store.save()
+    # resurrect the shard as if cleanup died between rename and unlink
+    with ResultStore(path).journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    violations = ResultStore(path).verify()
+    assert any("orphan shard" in violation for violation in violations)
+
+
+def test_verify_tolerates_torn_trailing_line(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    with path.with_name("study.w1.jsonl").open("a") as handle:
+        handle.write('{"torn": ')
+    assert ResultStore(path).verify() == []
+
+
+def test_verify_flags_undecodable_interior_line(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    shard = path.with_name("study.w1.jsonl")
+    shard.write_text("!!garbage!!\n")
+    with ResultStore(path).journal_writer(shard="w1") as journal:
+        journal.write(make_record(repetition=0))
+    violations = ResultStore(path).verify()
+    assert any("undecodable" in violation for violation in violations)
+
+
+def test_verify_flags_poisoned_failures_sidecar(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    store.failures_path.write_text('{"dataset": "german", "error": "boom"}\n')
+    violations = ResultStore(path).verify()
+    assert any("poisoned" in violation for violation in violations)

@@ -1,0 +1,3 @@
+"""Chaos-suite fixtures (re-exported from the testing subsystem)."""
+
+from repro.testing.fixtures import chaos_study  # noqa: F401

@@ -1,0 +1,147 @@
+"""Unit tests for the fault-injection primitives themselves."""
+
+import pickle
+
+import pytest
+
+from repro.testing import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    FaultyExecutor,
+    SimulatedWorkerCrash,
+    TransientCellError,
+    truncate_tail,
+)
+
+pytestmark = pytest.mark.chaos
+
+UNIT = dict(dataset="german", error_type="mislabels", repetition=0)
+
+
+def test_fault_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="fault kind"):
+        Fault(kind="meteor_strike", **UNIT)
+
+
+def test_fault_rejects_bad_positions():
+    with pytest.raises(ValueError, match="at"):
+        Fault(kind="slow_cell", at=-1, **UNIT)
+    with pytest.raises(ValueError, match="attempts"):
+        Fault(kind="slow_cell", attempts=0, **UNIT)
+
+
+def test_plan_is_picklable():
+    plan = FaultPlan(faults=(Fault(kind="crash_pre_append", **UNIT),))
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def test_faults_for_filters_by_unit():
+    plan = FaultPlan(
+        faults=(
+            Fault(kind="crash_pre_append", **UNIT),
+            Fault(
+                kind="slow_cell",
+                dataset="german",
+                error_type="mislabels",
+                repetition=1,
+            ),
+        )
+    )
+    assert len(plan.faults_for("german", "mislabels", 0)) == 1
+    assert len(plan.faults_for("german", "mislabels", 1)) == 1
+    assert plan.faults_for("adult", "outliers", 0) == ()
+    assert plan.unit_injector("adult", "outliers", 0) is None
+
+
+def test_injector_transient_error_respects_attempt_window():
+    plan = FaultPlan(
+        faults=(Fault(kind="transient_error", attempts=2, **UNIT),)
+    )
+    for attempt in (0, 1):
+        injector = plan.unit_injector(**UNIT, attempt=attempt)
+        with pytest.raises(TransientCellError):
+            injector.on_cell(0, "log_reg", 0)
+    healed = plan.unit_injector(**UNIT, attempt=2)
+    healed.on_cell(0, "log_reg", 0)  # no raise: fault expired
+
+
+def test_injector_targets_cell_index():
+    plan = FaultPlan(faults=(Fault(kind="transient_error", at=1, **UNIT),))
+    injector = plan.unit_injector(**UNIT)
+    injector.on_cell(0, "log_reg", 0)
+    with pytest.raises(TransientCellError):
+        injector.on_cell(1, "knn", 0)
+
+
+def test_injector_crash_windows_count_appends():
+    plan = FaultPlan(faults=(Fault(kind="crash_post_append", at=1, **UNIT),))
+    injector = plan.unit_injector(**UNIT)
+    injector.before_append("k0", None)
+    injector.after_append("k0", None)  # append 0 passes
+    injector.before_append("k1", None)
+    with pytest.raises(SimulatedWorkerCrash):
+        injector.after_append("k1", None)
+
+
+def test_injector_crash_pre_append_fires_before_write():
+    plan = FaultPlan(faults=(Fault(kind="crash_pre_append", **UNIT),))
+    injector = plan.unit_injector(**UNIT)
+    with pytest.raises(SimulatedWorkerCrash):
+        injector.before_append("k0", None)
+
+
+def test_truncate_tail_cuts_last_line_only(tmp_path):
+    shard = tmp_path / "study.w1.jsonl"
+    shard.write_text('{"a": 1}\n{"b": 2222222222}\n')
+    truncate_tail(shard)
+    lines = shard.read_bytes().split(b"\n")
+    assert lines[0] == b'{"a": 1}'
+    assert 0 < len(lines[1]) < len(b'{"b": 2222222222}')
+
+
+def test_truncate_tail_single_line(tmp_path):
+    shard = tmp_path / "study.w1.jsonl"
+    shard.write_text('{"only": "line"}\n')
+    truncate_tail(shard)
+    data = shard.read_bytes()
+    assert 0 < len(data) < len(b'{"only": "line"}')
+    assert b"\n" not in data
+
+
+def test_scheduled_plan_pure_function_of_seed():
+    units = [("german", "mislabels", r) for r in range(4)]
+    a = FaultPlan.scheduled(3, units, rate=1.0)
+    b = FaultPlan.scheduled(3, units, rate=1.0)
+    assert a == b
+    assert len(a.faults) == len(units)
+    assert all(fault.kind in FAULT_KINDS for fault in a.faults)
+    assert FaultPlan.scheduled(4, units, rate=0.0).faults == ()
+
+
+def test_faulty_executor_builds_zero_backoff_options():
+    executor = FaultyExecutor(max_retries=5, cell_timeout=1.5)
+    options = executor.options()
+    assert options.max_retries == 5
+    assert options.cell_timeout == 1.5
+    assert options.backoff_base == 0.0
+    assert options.fault_plan is None
+
+
+def test_hypothesis_strategies_produce_valid_plans():
+    from hypothesis import given, settings
+
+    from repro.testing.strategies import fault_plans
+
+    units = [("german", "mislabels", 0), ("german", "mislabels", 1)]
+
+    @given(fault_plans(units))
+    @settings(max_examples=25, deadline=None)
+    def check(plan):
+        assert isinstance(plan, FaultPlan)
+        for fault in plan.faults:
+            assert fault.kind in FAULT_KINDS
+            assert fault.unit in units
+        pickle.loads(pickle.dumps(plan))
+
+    check()

@@ -1,0 +1,120 @@
+"""Hypothesis property: journal replay is invariant under corruption.
+
+Arbitrary interleavings of duplicated, out-of-order and
+trailing-truncated journal lines — spread across any number of
+``study.w*.jsonl`` shards — must always load to exactly the same
+``ResultStore.records()`` as the clean journal. This is the invariant
+the crash-recovery story rests on: a worker may die and re-journal the
+same record any number of times, shards merge in arbitrary order, and
+the last line of any shard may be torn mid-byte.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmark import JournalWriter, ResultStore, RunRecord
+
+pytestmark = pytest.mark.chaos
+
+N_RECORDS = 5
+
+
+def make_record(index: int) -> RunRecord:
+    return RunRecord(
+        dataset="german",
+        error_type="mislabels",
+        detection="cleanlab",
+        repair="flip_labels",
+        model="log_reg",
+        repetition=index,
+        tuning_seed=0,
+        metrics={"dirty_test_acc": 0.5 + index / 100, "nested": {"n": index}},
+    )
+
+
+RECORDS = [make_record(index) for index in range(N_RECORDS)]
+
+
+@st.composite
+def journal_layouts(draw):
+    """(lines per shard, torn-tail flags): a corrupted journal layout.
+
+    Every record index appears at least once in full; beyond that,
+    arbitrary duplicates, arbitrary order, arbitrary sharding, and an
+    optional torn (half-written) copy of some record at the tail of
+    any shard.
+    """
+    order = draw(st.permutations(range(N_RECORDS)))
+    duplicates = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=N_RECORDS - 1), max_size=6
+        )
+    )
+    entries = list(order) + duplicates
+    n_shards = draw(st.integers(min_value=1, max_value=3))
+    assignment = [
+        draw(st.integers(min_value=0, max_value=n_shards - 1))
+        for __ in entries
+    ]
+    shards = [[] for __ in range(n_shards)]
+    for entry, shard_index in zip(entries, assignment):
+        shards[shard_index].append(entry)
+    torn = [
+        draw(st.one_of(st.none(), st.integers(0, N_RECORDS - 1)))
+        for __ in range(n_shards)
+    ]
+    return shards, torn
+
+
+def write_layout(tmp_path, shards, torn):
+    path = tmp_path / "study.json"
+    for shard_index, entries in enumerate(shards):
+        shard_path = tmp_path / f"study.w{shard_index}.jsonl"
+        with JournalWriter(shard_path) as journal:
+            for entry in entries:
+                journal.write(RECORDS[entry])
+        if torn[shard_index] is not None:
+            payload = json.dumps(RECORDS[torn[shard_index]].to_json())
+            with shard_path.open("a") as handle:
+                handle.write(payload[: max(1, len(payload) // 2)])
+    return path
+
+
+@given(journal_layouts())
+@settings(max_examples=40, deadline=None)
+def test_replay_is_invariant_under_corruption(tmp_path_factory, layout):
+    shards, torn = layout
+    tmp_path = tmp_path_factory.mktemp("journal")
+    path = write_layout(tmp_path, shards, torn)
+    store = ResultStore(path)
+    loaded = list(store.records())
+    assert loaded == sorted(RECORDS, key=lambda record: record.key)
+    # every payload survived intact, not just the keys
+    for index, record in enumerate(sorted(RECORDS, key=lambda r: r.key)):
+        assert loaded[index].metrics == record.metrics
+
+
+@given(journal_layouts())
+@settings(max_examples=15, deadline=None)
+def test_corrupted_layout_compacts_to_clean_bytes(tmp_path_factory, layout):
+    """Saving any corrupted layout yields the same bytes as saving the
+    clean journal: compaction normalises corruption away entirely."""
+    shards, torn = layout
+    corrupt_dir = tmp_path_factory.mktemp("corrupt")
+    clean_dir = tmp_path_factory.mktemp("clean")
+
+    corrupt_store = ResultStore(write_layout(corrupt_dir, shards, torn))
+    corrupt_store.save()
+
+    clean_path = clean_dir / "study.json"
+    with JournalWriter(clean_dir / "study.w0.jsonl") as journal:
+        for record in RECORDS:
+            journal.write(record)
+    clean_store = ResultStore(clean_path)
+    clean_store.save()
+
+    assert (corrupt_dir / "study.json").read_bytes() == clean_path.read_bytes()
+    assert corrupt_store.verify() == []

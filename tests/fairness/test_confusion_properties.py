@@ -1,0 +1,97 @@
+"""Hypothesis invariants for the vectorised group-confusion counting.
+
+``group_confusions_from_masks`` runs inside the study's parallel hot
+path (one call per model prediction), so its bincount-based counting
+is property-tested against the two accounting identities any confusion
+decomposition must satisfy:
+
+1. per group, ``tp + fp + tn + fn`` equals the group's size, and
+2. the pooled confusion over everything equals the cell-wise sum of
+   the confusions of any partition of the rows into groups.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairness.confusion import group_confusions_from_masks
+
+
+def _arrays(draw, n):
+    bits = st.lists(st.integers(0, 1), min_size=n, max_size=n)
+    y_true = np.array(draw(bits), dtype=np.int64)
+    y_pred = np.array(draw(bits), dtype=np.int64)
+    return y_true, y_pred
+
+
+@st.composite
+def labelled_masks(draw):
+    """(y_true, y_pred, masks): random labels plus random group masks."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    y_true, y_pred = _arrays(draw, n)
+    n_groups = draw(st.integers(min_value=1, max_value=3))
+    masks = []
+    for index in range(n_groups):
+        bools = st.lists(st.booleans(), min_size=n, max_size=n)
+        privileged = np.array(draw(bools), dtype=bool)
+        disadvantaged = np.array(draw(bools), dtype=bool)
+        masks.append((f"g{index}", privileged, disadvantaged))
+    return y_true, y_pred, masks
+
+
+@given(labelled_masks())
+@settings(max_examples=100, deadline=None)
+def test_confusion_cells_sum_to_group_sizes(case):
+    y_true, y_pred, masks = case
+    groups = group_confusions_from_masks(y_true, y_pred, masks)
+    assert len(groups) == len(masks)
+    for confusion, (key, privileged, disadvantaged) in zip(groups, masks):
+        assert confusion.group_key == key
+        for matrix, mask in (
+            (confusion.privileged, privileged),
+            (confusion.disadvantaged, disadvantaged),
+        ):
+            total = matrix.tp + matrix.fp + matrix.tn + matrix.fn
+            assert total == int(mask.sum())
+
+
+@st.composite
+def labelled_partition(draw):
+    """(y_true, y_pred, parts): labels plus a partition of the rows."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    y_true, y_pred = _arrays(draw, n)
+    n_parts = draw(st.integers(min_value=1, max_value=4))
+    assignment = np.array(
+        draw(st.lists(st.integers(0, n_parts - 1), min_size=n, max_size=n))
+    )
+    parts = [assignment == part for part in range(n_parts)]
+    return y_true, y_pred, parts
+
+
+@given(labelled_partition())
+@settings(max_examples=100, deadline=None)
+def test_pooled_confusion_equals_sum_over_partition(case):
+    y_true, y_pred, parts = case
+    everyone = np.ones(len(y_true), dtype=bool)
+    masks = [("pooled", everyone, everyone)] + [
+        (f"part{index}", part, part) for index, part in enumerate(parts)
+    ]
+    pooled, *groups = group_confusions_from_masks(y_true, y_pred, masks)
+    for cell in ("tp", "fp", "tn", "fn"):
+        pooled_count = getattr(pooled.privileged, cell)
+        summed = sum(getattr(group.privileged, cell) for group in groups)
+        assert pooled_count == summed
+
+
+@given(labelled_masks())
+@settings(max_examples=50, deadline=None)
+def test_privileged_and_disadvantaged_counted_independently(case):
+    """Each mask side is counted from the same code vector: swapping the
+    mask order must swap the matrices verbatim."""
+    y_true, y_pred, masks = case
+    swapped = [(key, dis, priv) for key, priv, dis in masks]
+    forward = group_confusions_from_masks(y_true, y_pred, masks)
+    backward = group_confusions_from_masks(y_true, y_pred, swapped)
+    for before, after in zip(forward, backward):
+        assert before.privileged == after.disadvantaged
+        assert before.disadvantaged == after.privileged

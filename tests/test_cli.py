@@ -122,3 +122,59 @@ def test_parser_rejects_unknown_dataset():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+@pytest.mark.parametrize(
+    "flag,value",
+    [
+        ("--workers", "0"),
+        ("--workers", "-2"),
+        ("--max-retries", "-1"),
+        ("--max-retries", "two"),
+        ("--cell-timeout", "abc"),
+        ("--cell-timeout", "0"),
+        ("--cell-timeout", "-1.5"),
+    ],
+)
+def test_study_rejects_bad_executor_flags(capsys, flag, value):
+    """argparse rejects malformed executor flags with exit code 2 and a
+    message naming the offending flag."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", "--store", "s.json", flag, value])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert flag in err
+
+
+def test_study_with_hardening_flags(tmp_path, capsys):
+    """The retry/timeout/fsync flags route through the hardened
+    executor and still produce a complete, verifiable store."""
+    store_path = str(tmp_path / "store.json")
+    code = main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "1",
+            "--max-retries",
+            "1",
+            "--cell-timeout",
+            "120",
+            "--fsync-journal",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "planned 1 work units" in out
+    from repro.benchmark import ResultStore
+
+    store = ResultStore(tmp_path / "store.json")
+    assert store.verify() == []
+    assert not store.failures_path.exists()
