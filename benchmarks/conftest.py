@@ -15,6 +15,7 @@ tables are also written to ``benchmarks/_results/*.txt``.
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 import pytest
@@ -64,6 +65,21 @@ def ensure_error_type(
         added = runner.run_dataset_error(dataset, error_type)
         if added:
             store.save()
+
+
+def map_parallel(fn, items, workers: int = BENCH_WORKERS) -> list:
+    """Map a picklable function over ``items``, order preserved.
+
+    Runs in-process when ``REPRO_BENCH_WORKERS`` (or ``workers``) is 1;
+    otherwise shards across a process pool. Used by benches whose work
+    items are independent (e.g. the per-model identity sweeps of
+    ``bench_model_selection.py``).
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 @pytest.fixture(scope="session")

@@ -35,6 +35,12 @@ class StudyConfig:
             byte-identical to a serial run — every random draw is
             seeded from configuration coordinates, never from
             execution order).
+        grid_fast_path: Let the inner grid search evaluate whole
+            hyperparameter grids through the estimators'
+            ``score_grid`` shared-computation kernels (one pass per
+            fold instead of one cold fit per candidate). Selected
+            hyperparameters and study records are byte-identical
+            either way; ``False`` forces the naive loop.
     """
 
     n_sample: int = 1_000
@@ -55,6 +61,7 @@ class StudyConfig:
     generation_seed: int = 0
     models: tuple[str, ...] = ("log_reg", "knn", "xgboost")
     workers: int = 1
+    grid_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.n_sample < 10:

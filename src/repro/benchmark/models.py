@@ -20,7 +20,7 @@ MODEL_NAMES: tuple[str, ...] = ("log_reg", "knn", "xgboost")
 
 
 def model_search(
-    name: str, n_cv_folds: int = 3, tuning_seed: int = 0
+    name: str, n_cv_folds: int = 3, tuning_seed: int = 0, fast_path: bool = True
 ) -> GridSearchCV:
     """Build the tuned cross-validated search for a model name.
 
@@ -29,6 +29,11 @@ def model_search(
         n_cv_folds: Folds of the inner grid-search cross-validation.
         tuning_seed: Seed for fold assignment (the paper evaluates
             several tuning seeds per split).
+        fast_path: Allow the search to use the estimator's
+            ``score_grid`` shared-computation kernel. Selection is
+            byte-identical either way; ``False`` forces the naive
+            clone-per-candidate loop (the reference for identity
+            tests and the naive-vs-fast benches).
     """
     if name == "log_reg":
         return GridSearchCV(
@@ -36,6 +41,7 @@ def model_search(
             {"C": [0.01, 0.1, 1.0, 10.0]},
             n_splits=n_cv_folds,
             random_state=tuning_seed,
+            use_fast_path=fast_path,
         )
     if name == "knn":
         return GridSearchCV(
@@ -43,6 +49,7 @@ def model_search(
             {"n_neighbors": [5, 15, 31]},
             n_splits=n_cv_folds,
             random_state=tuning_seed,
+            use_fast_path=fast_path,
         )
     if name == "xgboost":
         return GridSearchCV(
@@ -52,5 +59,6 @@ def model_search(
             {"max_depth": [2, 4]},
             n_splits=n_cv_folds,
             random_state=tuning_seed,
+            use_fast_path=fast_path,
         )
     raise ValueError(f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}")

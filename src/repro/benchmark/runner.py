@@ -450,6 +450,7 @@ class ExperimentRunner:
             model_name,
             n_cv_folds=self.config.n_cv_folds,
             tuning_seed=_seed_for("tune", model_name, tuning_seed),
+            fast_path=self.config.grid_fast_path,
         )
         search.fit(X_train, version.train_labels)
         predictions = search.predict(X_test)

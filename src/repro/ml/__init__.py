@@ -8,7 +8,7 @@ preprocessing, cross-validation based model selection, and
 classification metrics.
 """
 
-from repro.ml.base import BaseClassifier, clone
+from repro.ml.base import BaseClassifier, clone, split_single_parameter_grid
 from repro.ml.preprocessing import OneHotEncoder, StandardScaler
 from repro.ml.featurize import TabularFeaturizer
 from repro.ml.logistic import LogisticRegressionClassifier
@@ -21,6 +21,8 @@ from repro.ml.model_selection import (
     KFold,
     StratifiedKFold,
     cross_val_predict_proba,
+    grid_fold_predictions,
+    iter_grid_candidates,
     train_test_split,
 )
 from repro.ml.fair_search import FairnessConstrainedSearch
@@ -42,6 +44,9 @@ __all__ = [
     "KFold",
     "StratifiedKFold",
     "cross_val_predict_proba",
+    "grid_fold_predictions",
+    "iter_grid_candidates",
+    "split_single_parameter_grid",
     "train_test_split",
     "metrics",
 ]

@@ -57,6 +57,34 @@ def clone(estimator: EstimatorT) -> EstimatorT:
     return type(estimator)(**estimator.get_params())
 
 
+def split_single_parameter_grid(
+    candidates: "list[dict[str, Any]]",
+) -> tuple[dict[str, Any], str, list[Any]] | None:
+    """Decompose a candidate list that varies in exactly one parameter.
+
+    Returns ``(fixed_params, varying_name, values)`` where ``values``
+    preserves candidate order, or ``None`` when the candidates do not
+    share a key set or vary in zero or more than one key. This is the
+    shape the single-parameter ``score_grid`` fast paths accept.
+    """
+    if len(candidates) < 2:
+        return None
+    keys = set(candidates[0])
+    if any(set(candidate) != keys for candidate in candidates):
+        return None
+    first = candidates[0]
+    varying = [
+        key
+        for key in first
+        if any(candidate[key] != first[key] for candidate in candidates[1:])
+    ]
+    if len(varying) != 1:
+        return None
+    name = varying[0]
+    fixed = {key: value for key, value in first.items() if key != name}
+    return fixed, name, [candidate[name] for candidate in candidates]
+
+
 class BaseClassifier(BaseEstimator):
     """Base class for binary classifiers.
 
@@ -77,6 +105,33 @@ class BaseClassifier(BaseEstimator):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Return hard 0/1 predictions."""
         return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    def score_grid(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+        candidates: "list[dict[str, Any]]",
+    ) -> np.ndarray | None:
+        """Optional shared-computation fast path for grid search.
+
+        Given a list of hyperparameter candidates, return an
+        ``(n_candidates, n_test)`` int64 array whose row ``i`` is
+        bitwise identical to::
+
+            clone(self).set_params(**candidates[i]).fit(
+                X_train, y_train).predict(X_test)
+
+        but computed from one shared pass over the fold instead of one
+        cold fit per candidate. Implementations must return ``None``
+        for any grid they cannot evaluate with that exact-equivalence
+        guarantee (the caller then falls back to the naive
+        clone-per-candidate loop). ``y_test`` is provided for
+        estimators that score internally; the bundled implementations
+        ignore it. The base implementation supports nothing.
+        """
+        return None
 
     def _check_fit_inputs(
         self, X: np.ndarray, y: np.ndarray

@@ -9,9 +9,11 @@ same model family, same tuned ``max_depth`` hyperparameter.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.ml.base import BaseClassifier
+from repro.ml.base import BaseClassifier, clone
 from repro.ml.logistic import _sigmoid
 from repro.ml.tree import _GradientTree
 
@@ -59,13 +61,38 @@ class GradientBoostedTreesClassifier(BaseClassifier):
         X, y = self._check_fit_inputs(X, y)
         if X.shape[0] == 0:
             raise ValueError("cannot fit on an empty training set")
+        self._boost(X, y, self.n_estimators)
+        return self
+
+    def _boost(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_rounds: int,
+        X_eval: np.ndarray | None = None,
+        eval_rounds: "set[int] | None" = None,
+    ) -> dict[int, np.ndarray]:
+        """Run the boosting loop, optionally snapshotting staged logits.
+
+        The single training loop behind both :meth:`fit` and
+        :meth:`score_grid`. When ``X_eval`` is given, its logits are
+        accumulated round by round — the same additions in the same
+        order as :meth:`decision_function` performs after the fact —
+        and copies are captured after each round listed in
+        ``eval_rounds``. Returns the captured ``{round: logits}``
+        snapshots (empty when ``X_eval`` is None).
+        """
         rng = np.random.default_rng(self.random_state)
         y_float = y.astype(np.float64)
         positive_rate = float(np.clip(y_float.mean(), 1e-6, 1 - 1e-6))
         self._base_logit = float(np.log(positive_rate / (1.0 - positive_rate)))
         logits = np.full(X.shape[0], self._base_logit)
+        eval_logits = (
+            np.full(X_eval.shape[0], self._base_logit) if X_eval is not None else None
+        )
+        snapshots: dict[int, np.ndarray] = {}
         self._trees = []
-        for __ in range(self.n_estimators):
+        for round_index in range(n_rounds):
             p = _sigmoid(logits)
             gradients = p - y_float
             hessians = np.maximum(p * (1.0 - p), 1e-6)
@@ -83,7 +110,84 @@ class GradientBoostedTreesClassifier(BaseClassifier):
             update = tree.predict(X)
             logits = logits + self.learning_rate * update
             self._trees.append(tree)
-        return self
+            if eval_logits is not None:
+                eval_logits = eval_logits + self.learning_rate * tree.predict(X_eval)
+                if eval_rounds is not None and round_index + 1 in eval_rounds:
+                    snapshots[round_index + 1] = eval_logits.copy()
+        return snapshots
+
+    def score_grid(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+        candidates: "list[dict[str, Any]]",
+    ) -> np.ndarray | None:
+        """Evaluate the grid with one boosting run per distinct tree shape.
+
+        Candidates are grouped by every parameter except
+        ``n_estimators``; each group trains once to its largest round
+        budget while staged test logits are snapshotted at every
+        requested budget. Because each round's tree (and the
+        subsampling RNG draw) depends only on the preceding rounds, an
+        ``m``-round prefix of a longer run is bitwise identical to an
+        ``m``-round fit, and the staged logits replay
+        ``decision_function``'s accumulation exactly — so every
+        candidate's predictions match a cold clone-fit bit for bit.
+        """
+        if len(candidates) < 2:
+            return None
+        valid_names = set(self._param_names())
+        key_set = set(candidates[0])
+        if any(set(candidate) != key_set for candidate in candidates):
+            return None
+        if not key_set <= valid_names:
+            return None
+        budgets = [
+            candidate.get("n_estimators", self.n_estimators)
+            for candidate in candidates
+        ]
+        if any(
+            not isinstance(budget, (int, np.integer)) or budget < 1
+            for budget in budgets
+        ):
+            return None
+        groups: dict[tuple, list[int]] = {}
+        try:
+            for index, candidate in enumerate(candidates):
+                key = tuple(
+                    sorted(
+                        (name, value)
+                        for name, value in candidate.items()
+                        if name != "n_estimators"
+                    )
+                )
+                groups.setdefault(key, []).append(index)
+        except TypeError:
+            return None
+        if all(len(members) == 1 for members in groups.values()):
+            # every candidate needs its own training run: nothing shared,
+            # so the naive loop is just as fast
+            return None
+        predictions: np.ndarray | None = None
+        for key, members in groups.items():
+            model = clone(self).set_params(**dict(key))
+            X, y = model._check_fit_inputs(X_train, y_train)
+            if X.shape[0] == 0:
+                return None
+            X_eval = model._check_predict_inputs(X_test)
+            if predictions is None:
+                predictions = np.empty(
+                    (len(candidates), X_eval.shape[0]), dtype=np.int64
+                )
+            rounds = {int(budgets[index]) for index in members}
+            snapshots = model._boost(
+                X, y, max(rounds), X_eval=X_eval, eval_rounds=rounds
+            )
+            for index in members:
+                predictions[index] = _sigmoid(snapshots[int(budgets[index])]) >= 0.5
+        return predictions
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw boosted logits."""

@@ -19,7 +19,11 @@ import numpy as np
 from repro.fairness.metrics import FairnessMetric
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy_score, confusion_matrix
-from repro.ml.model_selection import StratifiedKFold
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    grid_fold_predictions,
+    iter_grid_candidates,
+)
 
 
 class FairnessConstrainedSearch:
@@ -32,6 +36,10 @@ class FairnessConstrainedSearch:
         max_disparity: Constraint on the mean |disparity| across folds.
         n_splits: Cross-validation folds.
         random_state: Seed for fold assignment.
+        use_fast_path: Dispatch candidate evaluation to the
+            estimator's ``score_grid`` shared-computation kernel when
+            available (predictions, and therefore every accuracy and
+            disparity, are byte-identical to the naive loop).
     """
 
     def __init__(
@@ -42,6 +50,7 @@ class FairnessConstrainedSearch:
         max_disparity: float = 0.1,
         n_splits: int = 3,
         random_state: int = 0,
+        use_fast_path: bool = True,
     ) -> None:
         if not param_grid:
             raise ValueError("param_grid must not be empty")
@@ -53,6 +62,7 @@ class FairnessConstrainedSearch:
         self.max_disparity = max_disparity
         self.n_splits = n_splits
         self.random_state = random_state
+        self.use_fast_path = use_fast_path
         self.best_params_: dict[str, Any] | None = None
         self.best_estimator_: BaseClassifier | None = None
         self.best_accuracy_: float = float("nan")
@@ -61,16 +71,7 @@ class FairnessConstrainedSearch:
         self.cv_results_: list[dict[str, Any]] = []
 
     def _candidates(self):
-        names = list(self.param_grid)
-        counts = [len(self.param_grid[name]) for name in names]
-        total = int(np.prod(counts))
-        for flat in range(total):
-            candidate = {}
-            remainder = flat
-            for name, count in zip(names, counts):
-                candidate[name] = self.param_grid[name][remainder % count]
-                remainder //= count
-            yield candidate
+        return iter_grid_candidates(self.param_grid)
 
     def fit(
         self,
@@ -87,14 +88,24 @@ class FairnessConstrainedSearch:
         if privileged.shape != y.shape or disadvantaged.shape != y.shape:
             raise ValueError("group masks must align with the training rows")
         folds = list(StratifiedKFold(self.n_splits, self.random_state).split(y))
+        candidates = list(self._candidates())
+        fast = (
+            grid_fold_predictions(self.estimator, X, y, folds, candidates)
+            if self.use_fast_path
+            else None
+        )
+        fold_predictions = fast[0] if fast is not None else None
         self.cv_results_ = []
-        for candidate in self._candidates():
+        for index, candidate in enumerate(candidates):
             accuracies = []
             disparities = []
-            for train_idx, valid_idx in folds:
-                model = clone(self.estimator).set_params(**candidate)
-                model.fit(X[train_idx], y[train_idx])
-                predictions = model.predict(X[valid_idx])
+            for fold, (train_idx, valid_idx) in enumerate(folds):
+                if fold_predictions is not None:
+                    predictions = fold_predictions[fold][index]
+                else:
+                    model = clone(self.estimator).set_params(**candidate)
+                    model.fit(X[train_idx], y[train_idx])
+                    predictions = model.predict(X[valid_idx])
                 accuracies.append(accuracy_score(y[valid_idx], predictions))
                 priv_mask = privileged[valid_idx]
                 dis_mask = disadvantaged[valid_idx]

@@ -2,14 +2,21 @@
 
 Exact euclidean kNN. Distances are computed in memory-bounded chunks
 so that large test sets do not materialise an n_test × n_train matrix
-at once.
+at once. The squared training norms are cached at fit time, and a
+``score_grid`` fast path evaluates a whole ``n_neighbors`` grid from
+one distance matrix per chunk: one ``argpartition`` up to
+``max(k) + 1``, one sort of the top block, then prefix votes per
+``k`` — with an exact per-row fallback wherever a distance tie at the
+``k``-boundary could make the selected neighbour set ambiguous.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.ml.base import BaseClassifier
+from repro.ml.base import BaseClassifier, split_single_parameter_grid
 
 _CHUNK_TARGET_CELLS = 4_000_000
 
@@ -28,6 +35,7 @@ class KNearestNeighborsClassifier(BaseClassifier):
         self.n_neighbors = n_neighbors
         self._X: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self._train_sq: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighborsClassifier":
         X, y = self._check_fit_inputs(X, y)
@@ -35,25 +43,105 @@ class KNearestNeighborsClassifier(BaseClassifier):
             raise ValueError("cannot fit kNN on an empty training set")
         self._X = X
         self._y = y
+        self._train_sq = np.sum(X**2, axis=1)
         return self
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        if self._X is None or self._y is None:
-            raise RuntimeError("KNearestNeighborsClassifier is not fitted")
+    def _check_test_matrix(self, X: np.ndarray) -> np.ndarray:
+        assert self._X is not None
         X = self._check_predict_inputs(X)
         if X.shape[1] != self._X.shape[1]:
             raise ValueError(
                 f"expected {self._X.shape[1]} features, got {X.shape[1]}"
             )
+        return X
+
+    def _chunk_distances(self, chunk: np.ndarray) -> np.ndarray:
+        """Squared euclidean distance; constant ||x||^2 term omitted."""
+        assert self._X is not None and self._train_sq is not None
+        return self._train_sq[None, :] - 2.0 * (chunk @ self._X.T)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("KNearestNeighborsClassifier is not fitted")
+        X = self._check_test_matrix(X)
         k = min(self.n_neighbors, self._X.shape[0])
         n_train = self._X.shape[0]
         chunk_rows = max(1, _CHUNK_TARGET_CELLS // max(1, n_train))
-        train_sq = np.sum(self._X**2, axis=1)
         positives = np.empty(X.shape[0], dtype=np.float64)
         for start in range(0, X.shape[0], chunk_rows):
             chunk = X[start : start + chunk_rows]
-            # squared euclidean distance; constant ||x||^2 term omitted
-            distances = train_sq[None, :] - 2.0 * (chunk @ self._X.T)
+            distances = self._chunk_distances(chunk)
             neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
             positives[start : start + chunk_rows] = self._y[neighbor_idx].mean(axis=1)
         return np.column_stack([1.0 - positives, positives])
+
+    def score_grid(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+        candidates: "list[dict[str, Any]]",
+    ) -> np.ndarray | None:
+        """Evaluate an ``n_neighbors`` grid from one distance pass per chunk.
+
+        Byte-identical to fitting and predicting one clone per
+        candidate. The neighbour vote is the mean of 0/1 labels over
+        the ``k`` nearest training points; whenever the ``k``-th and
+        ``(k+1)``-th smallest distances differ strictly, that
+        neighbour *set* is unique, so the prefix vote over the sorted
+        top block equals the naive ``argpartition`` vote exactly
+        (integer label sums are order-independent in float64). Rows
+        with a boundary tie are recomputed with the naive per-``k``
+        ``argpartition`` on the same distance row, which reproduces
+        the naive index selection bit for bit.
+        """
+        spec = split_single_parameter_grid(candidates)
+        if spec is None or spec[1] != "n_neighbors":
+            return None
+        fixed, __, values = spec
+        if fixed:
+            # n_neighbors is this model's only hyperparameter
+            return None
+        if any(
+            not isinstance(value, (int, np.integer)) or value < 1 for value in values
+        ):
+            return None
+        self.fit(X_train, y_train)
+        assert self._X is not None and self._y is not None
+        X = self._check_test_matrix(X_test)
+        n_train = self._X.shape[0]
+        ks = [min(int(value), n_train) for value in values]
+        kmax = max(ks)
+        block = min(kmax + 1, n_train)
+        chunk_rows = max(1, _CHUNK_TARGET_CELLS // max(1, n_train))
+        positives = np.empty((len(ks), X.shape[0]), dtype=np.float64)
+        for start in range(0, X.shape[0], chunk_rows):
+            chunk = X[start : start + chunk_rows]
+            distances = self._chunk_distances(chunk)
+            if block < n_train:
+                block_idx = np.argpartition(distances, block - 1, axis=1)[:, :block]
+            else:
+                block_idx = np.broadcast_to(
+                    np.arange(n_train), (chunk.shape[0], n_train)
+                )
+            block_vals = np.take_along_axis(distances, block_idx, axis=1)
+            order = np.argsort(block_vals, axis=1, kind="stable")
+            sorted_vals = np.take_along_axis(block_vals, order, axis=1)
+            sorted_labels = np.take_along_axis(
+                self._y[block_idx], order, axis=1
+            )
+            prefix = np.cumsum(sorted_labels, axis=1)
+            for index, k in enumerate(ks):
+                votes = prefix[:, k - 1] / k
+                if k < n_train:
+                    # boundary tie: the k nearest are ambiguous as a set —
+                    # replay the naive selection on the same distance row
+                    tied_rows = np.nonzero(
+                        sorted_vals[:, k] == sorted_vals[:, k - 1]
+                    )[0]
+                    for row in tied_rows:
+                        neighbor_idx = np.argpartition(distances[row], k - 1)[:k]
+                        votes[row] = self._y[neighbor_idx].mean()
+                positives[index, start : start + chunk_rows] = votes
+        return (positives >= 0.5).astype(np.int64)

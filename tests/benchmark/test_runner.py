@@ -1,5 +1,7 @@
 """Integration tests for the experiment runner (german, smoke scale)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -43,6 +45,27 @@ def test_records_contain_group_confusions_for_all_specs(german_store):
         for cell in ("tn", "fp", "fn", "tp"):
             assert f"dirty__{fragment}__{cell}" in record.metrics
             assert f"{repair}__{fragment}__{cell}" in record.metrics
+
+
+def test_grid_fast_path_study_records_byte_identical():
+    """The ``score_grid`` kernels must not change a single study metric:
+    a full repetition over all three models matches the naive loop."""
+
+    def run(grid_fast_path):
+        config = dataclasses.replace(
+            StudyConfig.smoke_scale(),
+            n_repetitions=1,
+            grid_fast_path=grid_fast_path,
+        )
+        store = ResultStore()
+        ExperimentRunner(config, store).run_dataset_error("german", "mislabels")
+        return {record.key: record.metrics for record in store.records()}
+
+    fast = run(True)
+    naive = run(False)
+    assert fast.keys() == naive.keys() and len(fast) > 0
+    for key in naive:
+        assert fast[key] == naive[key], key
 
 
 def test_group_confusions_sum_to_group_sizes(german_store):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ml import (
+    BaseClassifier,
     GridSearchCV,
     KFold,
     KNearestNeighborsClassifier,
@@ -146,6 +147,78 @@ def test_grid_search_deterministic_under_seed():
     ).fit(X, y)
     assert a.best_params_ == b.best_params_
     assert a.best_score_ == b.best_score_
+
+
+class _ConstantClassifier(BaseClassifier):
+    """Predicts all-positive regardless of ``flavor``: every candidate
+    of a ``flavor`` grid scores identically, exposing tie-breaking."""
+
+    def __init__(self, flavor: int = 0) -> None:
+        self.flavor = flavor
+
+    def fit(self, X, y):
+        self._check_fit_inputs(X, y)
+        return self
+
+    def predict_proba(self, X):
+        X = self._check_predict_inputs(X)
+        return np.column_stack([np.zeros(len(X)), np.ones(len(X))])
+
+
+def test_grid_search_tie_breaking_first_candidate_wins():
+    """The fast path's byte-identical guarantee depends on strict ``>``
+    selection: on equal mean scores the first candidate in odometer
+    order must win. Pinned here as a regression contract."""
+    X, y = make_blobs(n=60)
+    for use_fast_path in (False, True):
+        search = GridSearchCV(
+            _ConstantClassifier(),
+            {"flavor": [7, 1, 3]},
+            n_splits=3,
+            use_fast_path=use_fast_path,
+        ).fit(X, y)
+        scores = [entry["score"] for entry in search.cv_results_]
+        assert scores[0] == scores[1] == scores[2]
+        assert search.best_params_ == {"flavor": 7}
+
+
+def test_grid_search_equal_scoring_duplicate_values_pick_first():
+    X, y = make_blobs()
+    search = GridSearchCV(
+        KNearestNeighborsClassifier(),
+        {"n_neighbors": [5, 5, 5]},
+        n_splits=3,
+    ).fit(X, y)
+    scores = [entry["score"] for entry in search.cv_results_]
+    assert len(set(scores)) == 1
+    assert search.best_score_ == scores[0]
+
+
+def test_stratified_kfold_assignment_deterministic_across_calls():
+    """Identical folds from repeated splits and fresh splitter objects —
+    the fast path scores the same folds the naive path would."""
+    y = (np.arange(40) % 3 == 0).astype(int)
+    first = [
+        (train.tolist(), test.tolist())
+        for train, test in StratifiedKFold(4, 9).split(y)
+    ]
+    again = [
+        (train.tolist(), test.tolist())
+        for train, test in StratifiedKFold(4, 9).split(y)
+    ]
+    assert first == again
+
+
+def test_stratified_kfold_assignment_pinned():
+    """Exact fold membership for a fixed (y, seed); any change to the
+    assignment algorithm breaks stored-study reproducibility."""
+    y = np.array([0, 1] * 8 + [0, 0, 1, 1])
+    folds = [sorted(test.tolist()) for __, test in StratifiedKFold(3, 42).split(y)]
+    assert folds == [
+        [3, 8, 9, 10, 13, 14, 15, 16],
+        [6, 7, 11, 12, 17, 18],
+        [0, 1, 2, 4, 5, 19],
+    ]
 
 
 def test_cross_val_predict_proba_out_of_fold():
