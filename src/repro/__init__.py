@@ -11,6 +11,7 @@ scratch on numpy/scipy:
 - :mod:`repro.stats` — G² test and paired-t-test impact protocol,
 - :mod:`repro.datasets` — the five benchmark datasets (synthetic),
 - :mod:`repro.benchmark` — the experimentation framework (Fig. 3),
+- :mod:`repro.obs` — structured tracing, metrics and run health,
 - :mod:`repro.reporting` — paper-style table/figure renderers.
 
 Quickstart::
@@ -24,6 +25,7 @@ Quickstart::
     matrix = analysis.matrix("missing_values", "PP", intersectional=False)
 """
 
+from repro import obs
 from repro.benchmark import (
     DeepDive,
     DisparityAnalysis,
@@ -48,5 +50,6 @@ __all__ = [
     "DATASET_NAMES",
     "dataset_definition",
     "load_dataset",
+    "obs",
     "__version__",
 ]

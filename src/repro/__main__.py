@@ -6,6 +6,7 @@ Subcommands::
     python -m repro rq1 [--dataset NAME] [--intersectional]
     python -m repro study --error-type TYPE --store PATH [options]
     python -m repro tables --store PATH           # Tables II-XIII + XIV
+    python -m repro obs-report STORE              # run-health summary
 """
 
 from __future__ import annotations
@@ -108,6 +109,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         args.max_retries is not None
         or args.cell_timeout is not None
         or args.fsync_journal
+        or args.trace
     )
     if config.workers > 1 or fault_flags:
         from repro.benchmark import ExecutorOptions, run_parallel_study
@@ -116,6 +118,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             max_retries=2 if args.max_retries is None else args.max_retries,
             cell_timeout=args.cell_timeout,
             fsync_journal=args.fsync_journal,
+            trace=args.trace,
         )
         total = run_parallel_study(
             config,
@@ -203,6 +206,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_health_report
+
+    store = ResultStore(args.store)
+    trace_paths = store.trace_paths()
+    if not trace_paths:
+        print(
+            f"no trace data next to {args.store}; run "
+            "`python -m repro study --trace` first"
+        )
+        return 1
+    health = store.health()
+    print(render_health_report(health, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ICDE 2023 cleaning-vs-fairness reproduction"
@@ -254,6 +273,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync every journal append (durable against power loss)",
     )
+    study.add_argument(
+        "--trace",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="write structured trace/metric events to a {store}.trace.jsonl "
+        "sidecar (results stay byte-identical; view with `obs-report`)",
+    )
     study.set_defaults(func=_cmd_study)
 
     tables = sub.add_parser("tables", help="render Tables II-XIV from a store")
@@ -265,6 +291,18 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", help="output path (stdout when omitted)")
     report.add_argument("--title", default="Study report")
     report.set_defaults(func=_cmd_report)
+
+    obs_report = sub.add_parser(
+        "obs-report", help="render a run-health summary from trace sidecars"
+    )
+    obs_report.add_argument("store", help="result-store path of a traced run")
+    obs_report.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="number of slowest cells to list (default 10)",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

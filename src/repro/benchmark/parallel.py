@@ -60,11 +60,12 @@ import os
 import signal
 import time
 import zlib
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import obs
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.results import JournalWriter, ResultStore, RunRecord
 from repro.benchmark.runner import ERROR_TYPES, Cell, ExperimentRunner
@@ -229,6 +230,13 @@ class ExecutorOptions:
         abort_after_units: Raise :class:`StudyAborted` in the parent
             after merging this many units — a deterministic simulated
             kill point for crash-recovery tests.
+        trace: Emit structured trace events (see :mod:`repro.obs`).
+            The parent writes executor events (retries, poisonings,
+            backoff sleeps, unit latencies) to ``{stem}.trace.jsonl``;
+            each worker traces its units into
+            ``{stem}.trace.w{pid}.jsonl``, compacted into the parent
+            shard by :meth:`ResultStore.save`. Study results are
+            byte-identical with tracing on or off.
     """
 
     max_retries: int = 2
@@ -239,6 +247,7 @@ class ExecutorOptions:
     backoff_seed: int = 0
     fault_plan: Any = None
     abort_after_units: int | None = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -373,6 +382,19 @@ _Task = tuple[StudyConfig, WorkUnit, "str | None", ExecutorOptions, int]
 
 
 def _run_unit(task: _Task) -> list[dict[str, Any]]:
+    config, unit, journal_prefix, options, attempt = task
+    # each process traces into its own shard file (pid-keyed, like the
+    # journal shards); the scope restores any ambient tracer afterwards
+    trace_scope = (
+        obs.scoped(f"{journal_prefix}.trace.w{os.getpid()}.jsonl")
+        if options.trace and journal_prefix is not None
+        else nullcontext()
+    )
+    with trace_scope:
+        return _run_unit_traced(task)
+
+
+def _run_unit_traced(task: _Task) -> list[dict[str, Any]]:
     config, unit, journal_prefix, options, attempt = task
     definition, table = _load_cached(
         unit.dataset, config.dataset_size(unit.dataset), config.generation_seed
@@ -544,6 +566,8 @@ def run_parallel_study(
                 merged += 1
         added += merged
         merged_units += 1
+        obs.counter("units_merged")
+        obs.counter("records_merged", merged)
         if progress is not None:
             progress(
                 f"{unit.dataset}/{unit.error_type}/rep{unit.repetition}: "
@@ -564,8 +588,18 @@ def run_parallel_study(
         coords = _unit_coords(unit)
         attempts[coords] = attempt = attempts.get(coords, 0) + 1
         label = f"{unit.dataset}/{unit.error_type}/rep{unit.repetition}"
+        if error.startswith("CellTimeoutError"):
+            obs.counter("timeouts")
         replanned = _replan_unit(config, store, unit)
         if replanned is None:
+            obs.event(
+                "recovered",
+                dataset=unit.dataset,
+                error_type=unit.error_type,
+                repetition=unit.repetition,
+                attempt=attempt,
+                error=error,
+            )
             if progress is not None:
                 progress(f"{label}: recovered from journal after {error}")
             return None
@@ -580,9 +614,25 @@ def run_parallel_study(
                     "pending_cells": [list(cell) for cell in replanned.cells],
                 }
             )
+            obs.event(
+                "poison",
+                dataset=unit.dataset,
+                error_type=unit.error_type,
+                repetition=unit.repetition,
+                attempts=attempt,
+                error=error,
+            )
             if progress is not None:
                 progress(f"{label}: poisoned after {attempt} attempt(s): {error}")
             return None
+        obs.event(
+            "retry",
+            dataset=unit.dataset,
+            error_type=unit.error_type,
+            repetition=unit.repetition,
+            attempt=attempt,
+            error=error,
+        )
         if progress is not None:
             progress(
                 f"{label}: retry {attempt}/{options.max_retries} after {error}"
@@ -604,7 +654,13 @@ def run_parallel_study(
             ]
             queue = []
             delays: list[float] = []
+            round_started = time.perf_counter()
             for unit, payloads, error in execute(tasks):
+                # queue wait + execution, measured from round dispatch
+                obs.histogram(
+                    "unit_result_latency_seconds",
+                    time.perf_counter() - round_started,
+                )
                 if error is None:
                     merge(unit, payloads)
                     continue
@@ -619,16 +675,29 @@ def run_parallel_study(
                         )
                     )
             if queue and delays and max(delays) > 0:
+                obs.event("backoff_sleep", seconds=max(delays))
                 time.sleep(max(delays))
 
-    if workers == 1 or len(units) == 1:
-        run_rounds(lambda tasks: map(_execute_unit, tasks))
-    else:
-        context = _pool_context()
-        with context.Pool(processes=min(workers, len(units))) as pool:
-            run_rounds(
-                lambda tasks: pool.imap_unordered(_execute_unit, tasks)
-            )
+    trace_scope = (
+        obs.scoped(f"{journal_prefix}.trace.jsonl")
+        if options.trace and journal_prefix is not None
+        else nullcontext()
+    )
+    with trace_scope:
+        obs.event(
+            "planned",
+            units=len(units),
+            cells=sum(len(unit.cells) for unit in units),
+            workers=workers,
+        )
+        if workers == 1 or len(units) == 1:
+            run_rounds(lambda tasks: map(_execute_unit, tasks))
+        else:
+            context = _pool_context()
+            with context.Pool(processes=min(workers, len(units))) as pool:
+                run_rounds(
+                    lambda tasks: pool.imap_unordered(_execute_unit, tasks)
+                )
     if store.path is not None:
         _write_failures(store, failures)
     if save and store.path is not None:

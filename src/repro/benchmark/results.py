@@ -215,18 +215,20 @@ class ResultStore:
         """Existing journal shard files for this store, sorted by name.
 
         The ``{stem}.failures.jsonl`` sidecar (poisoned work units, see
-        :mod:`repro.benchmark.parallel`) is not a record journal and is
-        excluded.
+        :mod:`repro.benchmark.parallel`) and the ``{stem}.trace*.jsonl``
+        observability shards (see :mod:`repro.obs`) are not record
+        journals and are excluded.
         """
         if self._path is None:
             return []
         stem = self._path.stem
         parent = self._path.parent
         failures = self.failures_path
+        trace_prefix = f"{stem}.trace."
         paths = sorted(
             path
             for path in parent.glob(f"{stem}.*.jsonl")
-            if path != failures
+            if path != failures and not path.name.startswith(trace_prefix)
         )
         default = parent / f"{stem}.jsonl"
         if default.exists():
@@ -239,6 +241,100 @@ class ResultStore:
         if self._path is None:
             return None
         return self._path.parent / f"{self._path.stem}.failures.jsonl"
+
+    # -- observability sidecars ------------------------------------------
+
+    @property
+    def trace_path(self) -> Path | None:
+        """The compacted trace sidecar ``{stem}.trace.jsonl``."""
+        if self._path is None:
+            return None
+        return self._path.parent / f"{self._path.stem}.trace.jsonl"
+
+    def trace_paths(self) -> list[Path]:
+        """All existing trace files: the compacted sidecar first, then
+        per-worker shards (``{stem}.trace.w{pid}.jsonl``) sorted by
+        name."""
+        if self._path is None:
+            return []
+        main = self.trace_path
+        assert main is not None
+        paths = [main] if main.exists() else []
+        paths.extend(
+            sorted(
+                path
+                for path in self._path.parent.glob(
+                    f"{self._path.stem}.trace.*.jsonl"
+                )
+            )
+        )
+        return paths
+
+    def compact_trace(self) -> int:
+        """Fold worker trace shards into the single ``trace.jsonl``.
+
+        Mirrors the record-journal compaction in :meth:`save`: span and
+        point events are concatenated in shard order, ``metric`` events
+        are merged deterministically (counters and histogram buckets
+        sum — histogram boundaries are fixed, see
+        :mod:`repro.obs.metrics`) and appended last, the result is
+        written atomically, and the worker shards are removed. Returns
+        the number of events in the compacted file (0 when there is
+        nothing to compact). A no-op when no worker shards exist, so
+        repeated saves leave a compacted trace untouched.
+        """
+        if self._path is None:
+            return 0
+        main = self.trace_path
+        assert main is not None
+        shards = [path for path in self.trace_paths() if path != main]
+        if not shards:
+            return 0
+        from repro.obs import merge_metric_events, read_trace_events
+
+        events = read_trace_events(([main] if main.exists() else []) + shards)
+        metric_events = [
+            event for event in events if event.get("kind") == "metric"
+        ]
+        lines = [
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in events
+            if event.get("kind") != "metric"
+        ]
+        for merged in merge_metric_events(metric_events):
+            lines.append(
+                json.dumps(
+                    {"v": 1, "kind": "metric", **merged},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        tmp_path = main.with_name(main.name + ".tmp")
+        try:
+            with tmp_path.open("w") as handle:
+                if lines:
+                    handle.write("\n".join(lines) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp_path.replace(main)
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            raise
+        for shard in shards:
+            shard.unlink()
+        return len(lines)
+
+    def health(self):
+        """Run-health summary from the trace + failures sidecars.
+
+        Returns a :class:`repro.obs.RunHealth` folding every trace
+        event (compacted and still-sharded alike) together with the
+        poisoned-unit sidecar. An untraced store yields an empty —
+        but well-formed — summary.
+        """
+        from repro.obs import load_health
+
+        return load_health(self.trace_paths(), self.failures_path)
 
     def journal_writer(self, shard: str | None = None) -> JournalWriter:
         """An append-only writer for this store's journal.
@@ -328,6 +424,7 @@ class ResultStore:
             raise
         for shard in self.journal_paths():
             shard.unlink()
+        self.compact_trace()
 
     def verify(self) -> list[str]:
         """Audit the on-disk state; returns human-readable violations.

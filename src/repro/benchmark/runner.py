@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.models import model_search
 from repro.benchmark.results import ResultStore, RunRecord
@@ -201,28 +202,39 @@ class ExperimentRunner:
             )
         if error_type not in definition.error_types or not cells:
             return 0
-        versions = self._prepare_versions(definition, table, error_type, repetition)
-        if versions is None:
-            return 0
-        dirty, repaired_versions = versions
-        added = 0
-        for index, (model_name, seed) in enumerate(cells):
-            guard = (
-                nullcontext()
-                if cell_guard is None
-                else cell_guard(index, model_name, seed)
-            )
-            with guard:
-                added += self._evaluate_model(
-                    definition,
-                    error_type,
-                    dirty,
-                    repaired_versions,
-                    model_name,
-                    repetition,
-                    seed,
-                    progress,
+        coords = dict(
+            dataset=definition.name, error_type=error_type, repetition=repetition
+        )
+        with obs.span("unit", n_cells=len(cells), **coords):
+            with obs.span("prepare", **coords):
+                versions = self._prepare_versions(
+                    definition, table, error_type, repetition
                 )
+            if versions is None:
+                return 0
+            dirty, repaired_versions = versions
+            added = 0
+            for index, (model_name, seed) in enumerate(cells):
+                guard = (
+                    nullcontext()
+                    if cell_guard is None
+                    else cell_guard(index, model_name, seed)
+                )
+                with guard, obs.span(
+                    "cell", model=model_name, seed=seed, **coords
+                ) as cell_span:
+                    cell_added = self._evaluate_model(
+                        definition,
+                        error_type,
+                        dirty,
+                        repaired_versions,
+                        model_name,
+                        repetition,
+                        seed,
+                        progress,
+                    )
+                    cell_span.add("records", cell_added)
+                    added += cell_added
         return added
 
     def run_full_study(self, progress=None, workers: int | None = None) -> int:
@@ -417,13 +429,17 @@ class ExperimentRunner:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Fitted (X_train, X_test) matrices, cached on the version."""
         if version.features is None:
-            featurizer = TabularFeaturizer(
-                feature_columns=definition.feature_columns(version.train)
-            ).fit(version.train)
-            version.features = (
-                featurizer.transform(version.train),
-                featurizer.transform(version.test),
-            )
+            obs.counter("cache_miss", cache="featurizer")
+            with obs.span("featurize", version=version.name):
+                featurizer = TabularFeaturizer(
+                    feature_columns=definition.feature_columns(version.train)
+                ).fit(version.train)
+                version.features = (
+                    featurizer.transform(version.train),
+                    featurizer.transform(version.test),
+                )
+        else:
+            obs.counter("cache_hit", cache="featurizer")
         return version.features
 
     def _masks_for(
@@ -431,10 +447,14 @@ class ExperimentRunner:
     ) -> list[GroupMasks]:
         """Group masks of the version's test table, cached on the version."""
         if version.masks is None:
-            specs = list(definition.group_specs) + list(
-                definition.intersectional_specs
-            )
-            version.masks = group_masks(version.test, specs)
+            obs.counter("cache_miss", cache="masks")
+            with obs.span("masks", version=version.name):
+                specs = list(definition.group_specs) + list(
+                    definition.intersectional_specs
+                )
+                version.masks = group_masks(version.test, specs)
+        else:
+            obs.counter("cache_hit", cache="masks")
         return version.masks
 
     def _score_version(
@@ -453,18 +473,21 @@ class ExperimentRunner:
             fast_path=self.config.grid_fast_path,
         )
         search.fit(X_train, version.train_labels)
-        predictions = search.predict(X_test)
-        metrics: dict[str, object] = {
-            f"{technique}_best_params": search.best_params_,
-            f"{technique}_val_acc": search.best_score_,
-            f"{technique}_test_acc": accuracy_score(version.test_labels, predictions),
-            f"{technique}_test_f1": f1_score(version.test_labels, predictions),
-        }
-        groups = group_confusions_from_masks(
-            version.test_labels, predictions, self._masks_for(definition, version)
-        )
-        for group in groups:
-            metrics.update(result_store_keys(technique, group))
+        with obs.span("score", model=model_name, technique=technique):
+            predictions = search.predict(X_test)
+            metrics: dict[str, object] = {
+                f"{technique}_best_params": search.best_params_,
+                f"{technique}_val_acc": search.best_score_,
+                f"{technique}_test_acc": accuracy_score(
+                    version.test_labels, predictions
+                ),
+                f"{technique}_test_f1": f1_score(version.test_labels, predictions),
+            }
+            groups = group_confusions_from_masks(
+                version.test_labels, predictions, self._masks_for(definition, version)
+            )
+            for group in groups:
+                metrics.update(result_store_keys(technique, group))
         return metrics
 
     def _evaluate_model(

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.ml.isolation import IsolationForest
 from repro.tabular import Table
 
@@ -50,13 +51,16 @@ class MissingValueDetector:
     name = "missing_values"
 
     def detect(self, table: Table) -> DetectionResult:
-        cell_masks = {
-            name: table.is_missing(name) for name in table.column_names
-        }
-        row_mask = np.zeros(table.n_rows, dtype=bool)
-        for mask in cell_masks.values():
-            row_mask |= mask
-        return DetectionResult(self.name, row_mask, cell_masks)
+        with obs.span("detect", detector=self.name, rows=table.n_rows) as span:
+            cell_masks = {
+                name: table.is_missing(name) for name in table.column_names
+            }
+            row_mask = np.zeros(table.n_rows, dtype=bool)
+            for mask in cell_masks.values():
+                row_mask |= mask
+            result = DetectionResult(self.name, row_mask, cell_masks)
+            span.add("flagged", result.n_flagged)
+        return result
 
 
 class _IntervalOutlierDetector:
@@ -92,17 +96,20 @@ class _IntervalOutlierDetector:
         """Flag cells outside the fitted intervals."""
         if self._bounds is None:
             raise RuntimeError(f"{type(self).__name__} is not fitted")
-        cell_masks: dict[str, np.ndarray] = {}
-        row_mask = np.zeros(table.n_rows, dtype=bool)
-        for name in table.schema.numeric_names():
-            low, high = self._bounds.get(name, (-np.inf, np.inf))
-            values = table.column(name)
-            finite = ~np.isnan(values)
-            mask = np.zeros(table.n_rows, dtype=bool)
-            mask[finite] = (values[finite] < low) | (values[finite] > high)
-            cell_masks[name] = mask
-            row_mask |= mask
-        return DetectionResult(self.name, row_mask, cell_masks)
+        with obs.span("detect", detector=self.name, rows=table.n_rows) as span:
+            cell_masks: dict[str, np.ndarray] = {}
+            row_mask = np.zeros(table.n_rows, dtype=bool)
+            for name in table.schema.numeric_names():
+                low, high = self._bounds.get(name, (-np.inf, np.inf))
+                values = table.column(name)
+                finite = ~np.isnan(values)
+                mask = np.zeros(table.n_rows, dtype=bool)
+                mask[finite] = (values[finite] < low) | (values[finite] > high)
+                cell_masks[name] = mask
+                row_mask |= mask
+            result = DetectionResult(self.name, row_mask, cell_masks)
+            span.add("flagged", result.n_flagged)
+        return result
 
     def detect(self, table: Table) -> DetectionResult:
         """Fit on the table and flag its outliers in one step."""
@@ -191,21 +198,24 @@ class IsolationForestOutlierDetector:
         Rows with missing numeric values are never flagged (they
         cannot be scored).
         """
-        row_mask = np.zeros(table.n_rows, dtype=bool)
-        if self._forest is not None:
-            X = np.column_stack(
-                [table.column(name) for name in self._numeric_names]
-            )
-            complete = ~np.isnan(X).any(axis=1)
-            if complete.any():
-                flags = self._forest.predict_outliers(X[complete])
-                row_mask[np.nonzero(complete)[0][flags]] = True
-        cell_masks = {}
-        for name in self._numeric_names:
-            mask = row_mask.copy()
-            mask &= ~table.is_missing(name)
-            cell_masks[name] = mask
-        return DetectionResult(self.name, row_mask, cell_masks)
+        with obs.span("detect", detector=self.name, rows=table.n_rows) as span:
+            row_mask = np.zeros(table.n_rows, dtype=bool)
+            if self._forest is not None:
+                X = np.column_stack(
+                    [table.column(name) for name in self._numeric_names]
+                )
+                complete = ~np.isnan(X).any(axis=1)
+                if complete.any():
+                    flags = self._forest.predict_outliers(X[complete])
+                    row_mask[np.nonzero(complete)[0][flags]] = True
+            cell_masks = {}
+            for name in self._numeric_names:
+                mask = row_mask.copy()
+                mask &= ~table.is_missing(name)
+                cell_masks[name] = mask
+            result = DetectionResult(self.name, row_mask, cell_masks)
+            span.add("flagged", result.n_flagged)
+        return result
 
     def detect(self, table: Table) -> DetectionResult:
         """Fit on the table and flag its outliers in one step."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.ml.base import BaseClassifier
 from repro.ml.logistic import LogisticRegressionClassifier
 from repro.ml.model_selection import cross_val_predict_proba
@@ -83,6 +84,14 @@ class ConfidentLearningDetector:
 
     def detect(self, X: np.ndarray, labels: np.ndarray) -> MislabelResult:
         """Run detection over a feature matrix and its given labels."""
+        with obs.span(
+            "detect", detector="cleanlab", rows=int(np.asarray(X).shape[0])
+        ) as span:
+            result = self._detect(X, labels)
+            span.add("flagged", result.n_flagged)
+        return result
+
+    def _detect(self, X: np.ndarray, labels: np.ndarray) -> MislabelResult:
         X = np.asarray(X, dtype=np.float64)
         labels = np.asarray(labels).astype(np.int64)
         if len(labels) != X.shape[0]:

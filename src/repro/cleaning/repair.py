@@ -17,6 +17,7 @@ import enum
 
 import numpy as np
 
+from repro import obs
 from repro.cleaning.detection import DetectionResult
 from repro.tabular import Table
 
@@ -106,6 +107,10 @@ class MissingValueRepair:
         """Return a copy of ``table`` with missing values imputed."""
         if self._numeric_fill is None or self._categorical_fill is None:
             raise RuntimeError("MissingValueRepair is not fitted")
+        with obs.span("repair", repair=self.name, rows=table.n_rows):
+            return self._transform(table)
+
+    def _transform(self, table: Table) -> Table:
         result = table
         for name, fill in self._numeric_fill.items():
             if name not in table.schema:
@@ -169,6 +174,10 @@ class OutlierRepair:
                 f"detection covers {detection.row_mask.shape[0]} rows, "
                 f"table has {table.n_rows}"
             )
+        with obs.span("repair", repair=self.name, rows=table.n_rows):
+            return self._transform(table, detection)
+
+    def _transform(self, table: Table, detection: DetectionResult) -> Table:
         result = table
         for name, fill in self._fill.items():
             if name not in table.schema:
@@ -198,6 +207,8 @@ class LabelFlipRepair:
             raise ValueError(
                 f"shape mismatch: labels {labels.shape} vs mask {row_mask.shape}"
             )
-        repaired = labels.copy()
-        repaired[row_mask] = 1 - repaired[row_mask]
+        with obs.span("repair", repair=self.name, rows=labels.size) as span:
+            repaired = labels.copy()
+            repaired[row_mask] = 1 - repaired[row_mask]
+            span.add("flipped", int(row_mask.sum()))
         return repaired

@@ -16,6 +16,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.fairness.metrics import FairnessMetric
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy_score, confusion_matrix
@@ -69,6 +70,7 @@ class FairnessConstrainedSearch:
         self.best_disparity_: float = float("nan")
         self.constraint_satisfied_: bool = False
         self.cv_results_: list[dict[str, Any]] = []
+        self.used_fast_path_: bool = False
 
     def _candidates(self):
         return iter_grid_candidates(self.param_grid)
@@ -95,6 +97,13 @@ class FairnessConstrainedSearch:
             else None
         )
         fold_predictions = fast[0] if fast is not None else None
+        self.used_fast_path_ = fast is not None
+        obs.event(
+            "fair_search",
+            model=type(self.estimator).__name__,
+            fast_path=self.used_fast_path_,
+            n_candidates=len(candidates),
+        )
         self.cv_results_ = []
         for index, candidate in enumerate(candidates):
             accuracies = []

@@ -22,6 +22,7 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy_score
 
@@ -207,11 +208,19 @@ class GridSearchCV:
         self.best_score_: float = float("nan")
         self.best_estimator_: BaseClassifier | None = None
         self.cv_results_: list[dict[str, Any]] = []
+        self.used_fast_path_: bool = False
 
     def _candidates(self) -> Iterator[dict[str, Any]]:
         return iter_grid_candidates(self.param_grid)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        with obs.span(
+            "tune", model=type(self.estimator).__name__
+        ) as tune_span:
+            self._fit(X, y, tune_span)
+        return self
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, tune_span) -> None:
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y).astype(np.int64)
         splitter = StratifiedKFold(self.n_splits, self.random_state)
@@ -223,6 +232,7 @@ class GridSearchCV:
             if self.use_fast_path
             else None
         )
+        self.used_fast_path_ = fast is not None
         if fast is not None:
             fold_predictions, fold_seconds = fast
             shared_fit_seconds = float(sum(fold_seconds)) / len(candidates)
@@ -262,9 +272,18 @@ class GridSearchCV:
         assert best_params is not None
         self.best_params_ = best_params
         self.best_score_ = best_score
+        if obs.is_enabled():
+            # export the per-candidate timings that cv_results_ accumulates
+            # (previously CLI-invisible) into the trace sink
+            tune_span.set(
+                fast_path=self.used_fast_path_, n_candidates=len(candidates)
+            )
+            for entry in self.cv_results_:
+                tune_span.add("fit_seconds", entry["fit_seconds"])
+                tune_span.add("score_seconds", entry["score_seconds"])
+                obs.histogram("candidate_fit_seconds", entry["fit_seconds"])
         self.best_estimator_ = clone(self.estimator).set_params(**best_params)
         self.best_estimator_.fit(X, y)
-        return self
 
     def _record_result(
         self,

@@ -1,0 +1,83 @@
+"""Structured tracing, metrics and run-health reporting.
+
+A zero-dependency observability layer for the study pipeline
+(FairPrep's "the pipeline is an inspectable artifact" stance applied
+to this reproduction):
+
+- :mod:`repro.obs.trace` — nestable spans with monotonic timings and
+  per-span counters/attributes, point events, and a process-global
+  tracer whose *disabled* fast path costs one attribute lookup.
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms whose snapshots merge deterministically across worker
+  shards.
+- :mod:`repro.obs.report` — folds ``trace.jsonl`` + ``failures.jsonl``
+  into a :class:`RunHealth` summary and renders the plain-text
+  ``python -m repro obs-report`` view.
+
+Instrumentation is threaded through the hot layers (experiment
+runner, parallel executor, grid search, cleaning detectors/repairers,
+fault injectors) via the module-level helpers below; with tracing off
+every instrumentation point is a no-op, and study results are
+byte-identical with tracing on or off — trace events live in sidecar
+shards (``{stem}.trace*.jsonl``) that never touch the result store.
+"""
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    MetricsRegistry,
+    merge_metric_events,
+)
+from repro.obs.report import (
+    RunHealth,
+    build_health,
+    load_health,
+    read_failures,
+    read_trace_events,
+    render_health_report,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    SCHEMA_VERSION,
+    Span,
+    TraceSink,
+    Tracer,
+    configure,
+    counter,
+    event,
+    flush,
+    gauge,
+    get_tracer,
+    histogram,
+    is_enabled,
+    scoped,
+    shutdown,
+    span,
+)
+
+__all__ = [
+    "DURATION_BUCKETS",
+    "MetricsRegistry",
+    "merge_metric_events",
+    "RunHealth",
+    "build_health",
+    "load_health",
+    "read_failures",
+    "read_trace_events",
+    "render_health_report",
+    "NOOP_SPAN",
+    "SCHEMA_VERSION",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "configure",
+    "counter",
+    "event",
+    "flush",
+    "gauge",
+    "get_tracer",
+    "histogram",
+    "is_enabled",
+    "scoped",
+    "shutdown",
+    "span",
+]

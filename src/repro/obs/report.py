@@ -1,0 +1,403 @@
+"""Run-health reporting from ``trace.jsonl`` + ``failures.jsonl``.
+
+:func:`build_health` folds a run's trace events into a
+:class:`RunHealth` summary — per-phase time breakdown, slowest cells,
+retry/poison/timeout tallies, cache hit rates, injected-fault counts —
+and :func:`render_health_report` renders it as the plain-text report
+behind ``python -m repro obs-report``. The same data is available
+programmatically as :meth:`repro.benchmark.ResultStore.health`.
+
+Phase totals aggregate *span* events by name. Spans nest (a ``unit``
+span contains its ``prepare`` and ``cell`` spans; a ``cell`` contains
+``tune`` and ``score``), so phase totals are not additive across
+nesting levels — compare siblings, not parents with children.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.metrics import merge_metric_events
+
+
+def read_trace_events(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
+    """Parse trace events from JSONL shards, in shard-then-line order.
+
+    Undecodable lines (e.g. the torn tail of a crashed writer) are
+    skipped, mirroring the result journal's replay tolerance.
+    """
+    events: list[dict[str, Any]] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        with path.open("r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict) and "kind" in event:
+                    events.append(event)
+    return events
+
+
+def read_failures(path: str | Path | None) -> list[dict[str, Any]]:
+    """Parse the poisoned-unit sidecar (missing file → empty list)."""
+    if path is None:
+        return []
+    path = Path(path)
+    if not path.exists():
+        return []
+    failures: list[dict[str, Any]] = []
+    with path.open("r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict):
+                failures.append(payload)
+    return failures
+
+
+@dataclass
+class RunHealth:
+    """Aggregated health view of one study run.
+
+    Attributes:
+        phase_totals: Per span name: ``{"count", "seconds"}``.
+        model_seconds: Total ``cell`` span seconds per model.
+        detector_stats: Per detector: ``{"count", "seconds", "flagged"}``.
+        repair_stats: Per repair: ``{"count", "seconds"}``.
+        slowest_cells: ``cell`` spans sorted by descending seconds
+            (coordinates + seconds), untruncated — renderers cut to
+            their own top-N.
+        tuning: Grid-search totals: fit/score seconds and the
+            fast-path vs naive dispatch counts.
+        cache: Per cache name: ``{"hits", "misses", "hit_rate"}``.
+        retries / recovered / poisoned / timeouts: Executor
+            fault-tolerance tally (``recovered`` counts failed units
+            fully reconstructed from their journal shard, no retry).
+        backoff_seconds: Total injected retry backoff sleep.
+        faults: Injected-fault firings by kind (chaos runs only).
+        counters: All merged metric counters, keyed
+            ``name{label=value,...}``.
+        failures: Parsed poisoned-unit sidecar entries.
+        n_events: Total trace events consumed.
+    """
+
+    phase_totals: dict[str, dict[str, float]] = field(default_factory=dict)
+    model_seconds: dict[str, float] = field(default_factory=dict)
+    detector_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    repair_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    slowest_cells: list[dict[str, Any]] = field(default_factory=list)
+    tuning: dict[str, float] = field(default_factory=dict)
+    cache: dict[str, dict[str, float]] = field(default_factory=dict)
+    retries: int = 0
+    recovered: int = 0
+    poisoned: int = 0
+    timeouts: int = 0
+    backoff_seconds: float = 0.0
+    faults: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    n_events: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON-serialisable representation."""
+        return {
+            "phase_totals": self.phase_totals,
+            "model_seconds": self.model_seconds,
+            "detector_stats": self.detector_stats,
+            "repair_stats": self.repair_stats,
+            "slowest_cells": self.slowest_cells,
+            "tuning": self.tuning,
+            "cache": self.cache,
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "poisoned": self.poisoned,
+            "timeouts": self.timeouts,
+            "backoff_seconds": self.backoff_seconds,
+            "faults": self.faults,
+            "counters": self.counters,
+            "failures": self.failures,
+            "n_events": self.n_events,
+        }
+
+
+def _counter_key(name: str, labels: dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def build_health(
+    events: Sequence[dict[str, Any]],
+    failures: Sequence[dict[str, Any]] = (),
+) -> RunHealth:
+    """Fold trace events + sidecar entries into a :class:`RunHealth`."""
+    health = RunHealth(failures=list(failures), n_events=len(events))
+    cells: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span":
+            _fold_span(health, event, cells)
+        elif kind == "event":
+            _fold_event(health, event)
+    for snapshot in merge_metric_events(
+        [event for event in events if event.get("kind") == "metric"]
+    ):
+        if snapshot["type"] != "counter":
+            continue
+        name = snapshot["name"]
+        labels = snapshot.get("labels", {})
+        health.counters[_counter_key(name, labels)] = snapshot["value"]
+        if name == "cache_hit":
+            cache = health.cache.setdefault(
+                str(labels.get("cache", "?")), {"hits": 0.0, "misses": 0.0}
+            )
+            cache["hits"] += snapshot["value"]
+        elif name == "cache_miss":
+            cache = health.cache.setdefault(
+                str(labels.get("cache", "?")), {"hits": 0.0, "misses": 0.0}
+            )
+            cache["misses"] += snapshot["value"]
+    for cache in health.cache.values():
+        total = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / total if total else float("nan")
+    health.poisoned += len(health.failures)
+    health.slowest_cells = sorted(
+        cells, key=lambda cell: -cell["seconds"]
+    )
+    return health
+
+
+def _fold_span(
+    health: RunHealth, event: dict[str, Any], cells: list[dict[str, Any]]
+) -> None:
+    name = event.get("name", "?")
+    seconds = float(event.get("seconds", 0.0))
+    attrs = event.get("attrs", {})
+    counters = event.get("counters", {})
+    totals = health.phase_totals.setdefault(name, {"count": 0, "seconds": 0.0})
+    totals["count"] += 1
+    totals["seconds"] += seconds
+    if name == "cell":
+        cells.append({**attrs, "seconds": seconds})
+        model = str(attrs.get("model", "?"))
+        health.model_seconds[model] = (
+            health.model_seconds.get(model, 0.0) + seconds
+        )
+    elif name == "detect":
+        detector = str(attrs.get("detector", "?"))
+        stats = health.detector_stats.setdefault(
+            detector, {"count": 0, "seconds": 0.0, "flagged": 0}
+        )
+        stats["count"] += 1
+        stats["seconds"] += seconds
+        stats["flagged"] += int(counters.get("flagged", 0))
+    elif name == "repair":
+        repair = str(attrs.get("repair", "?"))
+        stats = health.repair_stats.setdefault(
+            repair, {"count": 0, "seconds": 0.0}
+        )
+        stats["count"] += 1
+        stats["seconds"] += seconds
+    elif name == "tune":
+        health.tuning["fit_seconds"] = health.tuning.get(
+            "fit_seconds", 0.0
+        ) + float(counters.get("fit_seconds", 0.0))
+        health.tuning["score_seconds"] = health.tuning.get(
+            "score_seconds", 0.0
+        ) + float(counters.get("score_seconds", 0.0))
+        dispatch = "fast_path" if attrs.get("fast_path") else "naive"
+        health.tuning[dispatch] = health.tuning.get(dispatch, 0) + 1
+
+
+def _fold_event(health: RunHealth, event: dict[str, Any]) -> None:
+    name = event.get("name")
+    attrs = event.get("attrs", {})
+    if name == "retry":
+        health.retries += 1
+        if "Timeout" in str(attrs.get("error", "")):
+            health.timeouts += 1
+    elif name == "recovered":
+        health.recovered += 1
+        if "Timeout" in str(attrs.get("error", "")):
+            health.timeouts += 1
+    elif name == "poison":
+        health.poisoned += 1
+        if "Timeout" in str(attrs.get("error", "")):
+            health.timeouts += 1
+    elif name == "backoff_sleep":
+        health.backoff_seconds += float(attrs.get("seconds", 0.0))
+    elif name == "fault_injected":
+        kind = str(attrs.get("fault", "?"))
+        health.faults[kind] = health.faults.get(kind, 0) + 1
+
+
+def load_health(
+    trace_paths: Iterable[str | Path],
+    failures_path: str | Path | None = None,
+) -> RunHealth:
+    """Read trace shards + sidecar from disk and build the summary."""
+    return build_health(
+        read_trace_events(trace_paths), read_failures(failures_path)
+    )
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> list[str]:
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(value).ljust(width) for value, width in zip(row, widths))
+        )
+    return lines
+
+
+def render_health_report(health: RunHealth, top: int = 10) -> str:
+    """Plain-text run-health report (the ``obs-report`` output)."""
+    lines: list[str] = ["RUN HEALTH", "=========="]
+    lines.append(
+        f"trace events: {health.n_events}   retries: {health.retries}   "
+        f"recovered: {health.recovered}   poisoned: {health.poisoned}   "
+        f"timeouts: {health.timeouts}   "
+        f"backoff: {_format_seconds(health.backoff_seconds)}"
+    )
+    if health.phase_totals:
+        lines += ["", "Phase totals (spans nest; compare siblings)"]
+        rows = [
+            (
+                name,
+                str(int(stats["count"])),
+                _format_seconds(stats["seconds"]),
+                _format_seconds(stats["seconds"] / stats["count"]),
+            )
+            for name, stats in sorted(
+                health.phase_totals.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        lines += _table(("phase", "count", "total", "mean"), rows)
+    if health.model_seconds:
+        lines += ["", "Cell time by model"]
+        rows = [
+            (model, _format_seconds(seconds))
+            for model, seconds in sorted(
+                health.model_seconds.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        lines += _table(("model", "total"), rows)
+    if health.detector_stats:
+        lines += ["", "Detectors"]
+        rows = [
+            (
+                detector,
+                str(int(stats["count"])),
+                _format_seconds(stats["seconds"]),
+                str(int(stats["flagged"])),
+            )
+            for detector, stats in sorted(
+                health.detector_stats.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        lines += _table(("detector", "applies", "total", "tuples flagged"), rows)
+    if health.repair_stats:
+        lines += ["", "Repairs"]
+        rows = [
+            (
+                repair,
+                str(int(stats["count"])),
+                _format_seconds(stats["seconds"]),
+            )
+            for repair, stats in sorted(
+                health.repair_stats.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        lines += _table(("repair", "applies", "total"), rows)
+    if health.tuning:
+        lines += ["", "Hyperparameter tuning"]
+        lines.append(
+            f"  fit: {_format_seconds(health.tuning.get('fit_seconds', 0.0))}"
+            f"   score: "
+            f"{_format_seconds(health.tuning.get('score_seconds', 0.0))}"
+            f"   fast-path searches: {int(health.tuning.get('fast_path', 0))}"
+            f"   naive searches: {int(health.tuning.get('naive', 0))}"
+        )
+    if health.cache:
+        lines += ["", "Caches"]
+        rows = [
+            (
+                name,
+                str(int(stats["hits"])),
+                str(int(stats["misses"])),
+                f"{stats['hit_rate'] * 100.0:.1f}%",
+            )
+            for name, stats in sorted(health.cache.items())
+        ]
+        lines += _table(("cache", "hits", "misses", "hit rate"), rows)
+    if health.slowest_cells:
+        lines += ["", f"Slowest cells (top {top})"]
+        rows = [
+            (
+                "/".join(
+                    str(cell.get(part, "?"))
+                    for part in ("dataset", "error_type", "repetition")
+                ),
+                str(cell.get("model", "?")),
+                str(cell.get("seed", "?")),
+                _format_seconds(cell["seconds"]),
+            )
+            for cell in health.slowest_cells[:top]
+        ]
+        lines += _table(("unit", "model", "seed", "seconds"), rows)
+    if health.faults:
+        lines += ["", "Injected faults observed"]
+        rows = [
+            (kind, str(count)) for kind, count in sorted(health.faults.items())
+        ]
+        lines += _table(("kind", "fired"), rows)
+    if health.failures:
+        lines += ["", "Poisoned work units"]
+        rows = [
+            (
+                "/".join(
+                    str(failure.get(part, "?"))
+                    for part in ("dataset", "error_type", "repetition")
+                ),
+                str(failure.get("attempts", "?")),
+                str(failure.get("error", "?"))[:60],
+            )
+            for failure in health.failures
+        ]
+        lines += _table(("unit", "attempts", "error"), rows)
+    return "\n".join(lines)

@@ -52,6 +52,7 @@ class FaultyExecutor:
     fsync_journal: bool = False
     abort_after_units: int | None = None
     backoff_base: float = 0.0
+    trace: bool = False
 
     def options(self) -> ExecutorOptions:
         """The executor options this wrapper translates to."""
@@ -62,6 +63,7 @@ class FaultyExecutor:
             backoff_base=self.backoff_base,
             fault_plan=self.plan,
             abort_after_units=self.abort_after_units,
+            trace=self.trace,
         )
 
     def run(self, config, store: ResultStore, **kwargs) -> int:

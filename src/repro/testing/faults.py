@@ -37,6 +37,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro import obs
+
 FAULT_KINDS = (
     "crash_pre_append",
     "crash_post_append",
@@ -157,13 +159,35 @@ class UnitInjector:
                 return fault
         return None
 
+    def _fired(self, fault: Fault, at: int) -> None:
+        """Emit the firing as a trace event (no-op without tracing).
+
+        Chaos tests assert on *observed* fault counts through these
+        events instead of trusting the schedule; the worker's trace
+        scope flushes on unwind, so an injected crash cannot lose the
+        event that reported it.
+        """
+        obs.event(
+            "fault_injected",
+            fault=fault.kind,
+            dataset=fault.dataset,
+            error_type=fault.error_type,
+            repetition=fault.repetition,
+            at=at,
+            attempt=self._attempt,
+        )
+
     def on_cell(self, index: int, model: str, seed: int) -> None:
         """Cell-boundary hook: may raise or sleep past the deadline."""
-        if self._active("transient_error", index) is not None:
+        fault = self._active("transient_error", index)
+        if fault is not None:
+            self._fired(fault, index)
             raise TransientCellError(
                 f"injected transient error in cell {index} ({model}/seed{seed})"
             )
-        if self._active("slow_cell", index) is not None:
+        fault = self._active("slow_cell", index)
+        if fault is not None:
+            self._fired(fault, index)
             if self._cell_timeout is not None:
                 time.sleep(self._cell_timeout * self._slow_factor)
             else:
@@ -173,7 +197,9 @@ class UnitInjector:
         """Pre-append crash window."""
         ordinal = self._appends
         self._appends += 1
-        if self._active("crash_pre_append", ordinal) is not None:
+        fault = self._active("crash_pre_append", ordinal)
+        if fault is not None:
+            self._fired(fault, ordinal)
             raise SimulatedWorkerCrash(
                 f"injected crash before journal append {ordinal} ({key})"
             )
@@ -181,14 +207,18 @@ class UnitInjector:
     def after_append(self, key: str, journal: Any) -> None:
         """Post-append crash window (including the torn-write variant)."""
         ordinal = self._appends - 1
-        if self._active("truncate_journal", ordinal) is not None:
+        fault = self._active("truncate_journal", ordinal)
+        if fault is not None:
+            self._fired(fault, ordinal)
             if journal is not None:
                 journal.close()
                 truncate_tail(journal.path)
             raise SimulatedWorkerCrash(
                 f"injected torn write at journal append {ordinal} ({key})"
             )
-        if self._active("crash_post_append", ordinal) is not None:
+        fault = self._active("crash_post_append", ordinal)
+        if fault is not None:
+            self._fired(fault, ordinal)
             raise SimulatedWorkerCrash(
                 f"injected crash after journal append {ordinal} ({key})"
             )

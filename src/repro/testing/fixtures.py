@@ -117,12 +117,15 @@ class ChaosStudy:
         fsync_journal: bool = False,
         abort_after_units: int | None = None,
         save: bool = True,
+        trace: bool = False,
     ) -> int:
         """One executor pass over the (possibly partially done) study.
 
         Uses zero backoff so retries don't slow the suite down; all
         other fault-tolerance behaviour is the production code path.
-        Returns the number of records added.
+        ``trace`` turns on structured tracing, so tests can assert on
+        observed fault/retry events. Returns the number of records
+        added.
         """
         options = ExecutorOptions(
             max_retries=max_retries,
@@ -131,6 +134,7 @@ class ChaosStudy:
             backoff_base=0.0,
             fault_plan=plan,
             abort_after_units=abort_after_units,
+            trace=trace,
         )
         store = ResultStore(self.store_path)
         return run_parallel_study(

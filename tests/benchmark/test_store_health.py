@@ -1,0 +1,219 @@
+"""Store-level observability: trace sidecars, compaction and health.
+
+Exercises :meth:`ResultStore.compact_trace`, :meth:`ResultStore.health`
+and their interaction with :meth:`ResultStore.verify` on hand-built
+on-disk states — mixed journal shards, a poisoned-unit sidecar and
+crash-torn trace tails (via the chaos suite's fault helpers) — without
+paying for a real study.
+"""
+
+import json
+
+import pytest
+
+from repro.benchmark import ResultStore, RunRecord
+from repro.testing import truncate_tail
+
+
+def make_record(repetition=0):
+    return RunRecord(
+        dataset="german",
+        error_type="mislabels",
+        detection="cleanlab",
+        repair="flip_labels",
+        model="log_reg",
+        repetition=repetition,
+        tuning_seed=0,
+        metrics={"dirty_test_acc": 0.7},
+    )
+
+
+def write_events(path, events):
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+
+
+def span_event(name, seconds=0.1, **attrs):
+    event = {"v": 1, "kind": "span", "name": name, "path": name, "seconds": seconds}
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+def counter_event(name, value, **labels):
+    return {
+        "v": 1,
+        "kind": "metric",
+        "type": "counter",
+        "name": name,
+        "labels": labels,
+        "value": value,
+    }
+
+
+def test_health_of_untraced_store_is_empty(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    health = store.health()
+    assert health.n_events == 0
+    assert health.poisoned == 0
+    assert ResultStore().health().n_events == 0  # in-memory store too
+
+
+def test_trace_paths_main_first_then_sorted_shards(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    for name in ("study.trace.w9.jsonl", "study.trace.w10.jsonl"):
+        write_events(tmp_path / name, [span_event("cell")])
+    assert [p.name for p in store.trace_paths()] == [
+        "study.trace.w10.jsonl",
+        "study.trace.w9.jsonl",
+    ]
+    write_events(store.trace_path, [span_event("unit")])
+    assert [p.name for p in store.trace_paths()] == [
+        "study.trace.jsonl",
+        "study.trace.w10.jsonl",
+        "study.trace.w9.jsonl",
+    ]
+
+
+def test_journal_paths_exclude_trace_and_failures_sidecars(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record())
+    write_events(store.trace_path, [span_event("unit")])
+    write_events(tmp_path / "study.trace.w1.jsonl", [span_event("cell")])
+    (tmp_path / "study.failures.jsonl").write_text('{"dataset":"german"}\n')
+    assert [p.name for p in store.journal_paths()] == ["study.w1.jsonl"]
+
+
+def test_compact_trace_merges_shards_and_metrics(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    write_events(
+        store.trace_path,
+        [span_event("planned"), counter_event("timeouts", 1.0)],
+    )
+    write_events(
+        tmp_path / "study.trace.w1.jsonl",
+        [span_event("cell", model="log_reg"), counter_event("timeouts", 2.0)],
+    )
+    write_events(
+        tmp_path / "study.trace.w2.jsonl",
+        [counter_event("cache_hit", 3.0, cache="featurizer")],
+    )
+    n_events = store.compact_trace()
+    assert n_events == 4  # 2 spans + 2 merged counters
+    assert store.trace_paths() == [store.trace_path]
+    events = [
+        json.loads(line)
+        for line in store.trace_path.read_text().splitlines()
+    ]
+    # span events first (shard order), merged metrics last
+    assert [e["kind"] for e in events] == ["span", "span", "metric", "metric"]
+    timeouts = [e for e in events if e.get("name") == "timeouts"]
+    assert timeouts[0]["value"] == 3.0  # summed across parent + worker
+
+
+def test_compact_trace_is_noop_without_shards(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    write_events(store.trace_path, [span_event("unit")])
+    before = store.trace_path.read_bytes()
+    assert store.compact_trace() == 0
+    assert store.trace_path.read_bytes() == before
+    assert ResultStore().compact_trace() == 0  # in-memory: nothing to do
+
+
+def test_compact_trace_skips_torn_shard_tail(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    shard = tmp_path / "study.trace.w1.jsonl"
+    write_events(shard, [span_event("cell"), span_event("tune")])
+    truncate_tail(shard)  # crash-torn final line
+    assert store.compact_trace() == 1
+    (event,) = [
+        json.loads(line)
+        for line in store.trace_path.read_text().splitlines()
+    ]
+    assert event["name"] == "cell"
+
+
+def test_save_compacts_trace_shards_with_journal_shards(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    with store.journal_writer(shard="w1") as journal:
+        journal.write(make_record())
+    write_events(
+        tmp_path / "study.trace.w1.jsonl", [span_event("cell", model="log_reg")]
+    )
+    store = ResultStore(tmp_path / "study.json")  # replay the journal
+    store.save()
+    assert store.journal_paths() == []
+    assert [p.name for p in store.trace_paths()] == ["study.trace.jsonl"]
+    assert store.verify() == []
+    assert store.health().phase_totals["cell"]["count"] == 1
+
+
+def test_health_folds_mixed_shards_and_poisoned_sidecar(tmp_path):
+    """The satellite scenario end to end: a compacted trace, a live
+    worker shard, a torn trace tail and a poisoned unit all fold into
+    one health summary while verify() flags exactly the poisoning."""
+    store = ResultStore(tmp_path / "study.json")
+    store.add(make_record(repetition=0))
+    store.save()
+    with store.journal_writer(shard="w5") as journal:
+        journal.write(make_record(repetition=1))
+    write_events(
+        store.trace_path,
+        [
+            span_event("unit", seconds=1.0),
+            {
+                "v": 1,
+                "kind": "event",
+                "name": "retry",
+                "attrs": {"attempt": 1, "error": "CellTimeoutError: slow"},
+            },
+        ],
+    )
+    shard = tmp_path / "study.trace.w5.jsonl"
+    write_events(
+        shard,
+        [
+            span_event("cell", model="log_reg", dataset="german"),
+            span_event("cell", model="knn", dataset="german"),
+        ],
+    )
+    truncate_tail(shard)  # the knn span is lost to the crash
+    failure = {
+        "dataset": "german",
+        "error_type": "mislabels",
+        "repetition": 2,
+        "attempts": 3,
+        "error": "RuntimeError: dead",
+    }
+    (tmp_path / "study.failures.jsonl").write_text(json.dumps(failure) + "\n")
+
+    health = store.health()
+    assert health.n_events == 3
+    assert health.phase_totals["unit"]["count"] == 1
+    assert health.model_seconds == {"log_reg": pytest.approx(0.1)}
+    assert health.retries == 1
+    assert health.timeouts == 1
+    assert health.poisoned == 1
+    assert health.failures == [failure]
+
+    violations = store.verify()
+    assert len(violations) == 1
+    assert "poisoned" in violations[0]
+
+    # reloading replays the journal shard; records are all intact
+    assert len(ResultStore(tmp_path / "study.json")) == 2
+
+
+def test_health_reads_uncompacted_worker_shards_directly(tmp_path):
+    """health() must not require a save(): a run killed before
+    compaction still reports from its worker shards."""
+    store = ResultStore(tmp_path / "study.json")
+    write_events(
+        tmp_path / "study.trace.w1.jsonl",
+        [span_event("cell", model="log_reg"), counter_event("units_merged", 1.0)],
+    )
+    health = store.health()
+    assert health.phase_totals["cell"]["count"] == 1
+    assert health.counters["units_merged"] == 1.0

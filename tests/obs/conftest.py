@@ -1,0 +1,18 @@
+"""Shared obs-suite fixture: always leave the global tracer clean.
+
+The tracer is process-global, so a test that configures it and then
+fails would leak an enabled tracer into unrelated tests. Every test in
+this package runs under an autouse guard that shuts the tracer down
+afterwards.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    assert not obs.is_enabled(), "tracer leaked into the obs suite enabled"
+    yield
+    obs.shutdown()

@@ -1,0 +1,152 @@
+"""Tests for the metrics registry and its deterministic merge."""
+
+import math
+
+import pytest
+
+from repro.obs import DURATION_BUCKETS, MetricsRegistry, merge_metric_events
+
+
+def test_counter_accumulates_per_label_set():
+    registry = MetricsRegistry()
+    registry.counter("cache_hit", cache="featurizer")
+    registry.counter("cache_hit", 2.0, cache="featurizer")
+    registry.counter("cache_hit", cache="masks")
+    snapshot = registry.snapshot()
+    values = {
+        (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+        for s in snapshot
+    }
+    assert values[("cache_hit", (("cache", "featurizer"),))] == 3.0
+    assert values[("cache_hit", (("cache", "masks"),))] == 1.0
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry()
+    registry.gauge("workers", 2)
+    registry.gauge("workers", 8)
+    (snapshot,) = registry.snapshot()
+    assert snapshot["type"] == "gauge"
+    assert snapshot["value"] == 8.0
+
+
+def test_histogram_buckets_and_totals():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", 0.0005)  # first bucket (<= 0.001)
+    registry.histogram("seconds", 0.3)  # <= 0.5
+    registry.histogram("seconds", 1e9)  # +inf overflow
+    (snapshot,) = registry.snapshot()
+    assert snapshot["type"] == "histogram"
+    assert snapshot["buckets"] == list(DURATION_BUCKETS)
+    assert len(snapshot["counts"]) == len(DURATION_BUCKETS) + 1
+    assert snapshot["counts"][0] == 1
+    assert snapshot["counts"][DURATION_BUCKETS.index(0.5)] == 1
+    assert snapshot["counts"][-1] == 1
+    assert snapshot["count"] == 3
+    assert snapshot["sum"] == pytest.approx(0.0005 + 0.3 + 1e9)
+
+
+def test_histogram_nan_goes_to_overflow_bucket():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", math.nan)
+    (snapshot,) = registry.snapshot()
+    assert snapshot["counts"][-1] == 1
+
+
+def test_histogram_rejects_changed_buckets():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", 0.1)
+    with pytest.raises(ValueError, match="different buckets"):
+        registry.histogram("seconds", 0.1, buckets=(1.0, 2.0))
+
+
+def test_drain_resets_registry():
+    registry = MetricsRegistry()
+    registry.counter("hits")
+    assert len(registry.drain()) == 1
+    assert registry.drain() == []
+
+
+def test_snapshot_order_is_deterministic():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    for registry, order in ((first, (1, 2)), (second, (2, 1))):
+        for index in order:
+            registry.counter(f"c{index}")
+            registry.gauge(f"g{index}", index)
+    assert first.snapshot() == second.snapshot()
+
+
+# -- merge --------------------------------------------------------------
+
+
+def counter_event(name, value, **labels):
+    return {"type": "counter", "name": name, "labels": labels, "value": value}
+
+
+def test_merge_sums_counters_across_shards():
+    merged = merge_metric_events(
+        [
+            counter_event("cache_hit", 2.0, cache="featurizer"),
+            counter_event("cache_hit", 3.0, cache="featurizer"),
+            counter_event("cache_hit", 1.0, cache="masks"),
+        ]
+    )
+    values = {
+        (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+        for s in merged
+    }
+    assert values[("cache_hit", (("cache", "featurizer"),))] == 5.0
+    assert values[("cache_hit", (("cache", "masks"),))] == 1.0
+
+
+def test_merge_sums_histograms_bucketwise():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", 0.3)
+    registry.histogram("seconds", 0.0005)
+    shard = registry.snapshot()[0]
+    (merged,) = merge_metric_events([shard, shard])
+    assert merged["count"] == 4
+    assert merged["sum"] == pytest.approx(2 * (0.3 + 0.0005))
+    assert merged["counts"] == [2 * c for c in shard["counts"]]
+
+
+def test_merge_rejects_mismatched_histogram_buckets():
+    base = {
+        "type": "histogram",
+        "name": "seconds",
+        "labels": {},
+        "sum": 1.0,
+        "count": 1,
+    }
+    with pytest.raises(ValueError, match="mismatched buckets"):
+        merge_metric_events(
+            [
+                {**base, "buckets": [1.0, 2.0], "counts": [1, 0, 0]},
+                {**base, "buckets": [1.0, 5.0], "counts": [1, 0, 0]},
+            ]
+        )
+
+
+def test_merge_gauges_last_value_in_shard_order():
+    merged = merge_metric_events(
+        [
+            {"type": "gauge", "name": "workers", "labels": {}, "value": 2.0},
+            {"type": "gauge", "name": "workers", "labels": {}, "value": 8.0},
+        ]
+    )
+    assert merged == [
+        {"type": "gauge", "name": "workers", "labels": {}, "value": 8.0}
+    ]
+
+
+def test_merge_is_deterministic_and_idempotent_shape():
+    events = [
+        counter_event("b", 1.0),
+        counter_event("a", 1.0, x="1"),
+        counter_event("a", 2.0, x="1"),
+    ]
+    once = merge_metric_events(events)
+    # merging the merged output again changes nothing
+    assert merge_metric_events(once) == once
+    assert [s["name"] for s in once] == ["a", "b"]

@@ -1,0 +1,202 @@
+"""Tests for run-health folding and the plain-text report."""
+
+import json
+
+from repro.obs import (
+    build_health,
+    load_health,
+    render_health_report,
+    RunHealth,
+)
+
+
+def span_event(name, seconds=0.1, attrs=None, counters=None):
+    event = {"v": 1, "kind": "span", "name": name, "path": name, "seconds": seconds}
+    if attrs:
+        event["attrs"] = attrs
+    if counters:
+        event["counters"] = counters
+    return event
+
+
+def point_event(name, **attrs):
+    return {"v": 1, "kind": "event", "name": name, "attrs": attrs}
+
+
+def cell(dataset="german", repetition=0, model="log_reg", seed=0, seconds=0.1):
+    return span_event(
+        "cell",
+        seconds=seconds,
+        attrs={
+            "dataset": dataset,
+            "error_type": "mislabels",
+            "repetition": repetition,
+            "model": model,
+            "seed": seed,
+        },
+    )
+
+
+SYNTHETIC_EVENTS = [
+    span_event("unit", seconds=1.0),
+    cell(repetition=0, seconds=0.4),
+    cell(repetition=1, model="knn", seconds=0.6),
+    span_event(
+        "detect",
+        seconds=0.2,
+        attrs={"detector": "cleanlab"},
+        counters={"flagged": 40},
+    ),
+    span_event("repair", seconds=0.05, attrs={"repair": "flip_labels"}),
+    span_event(
+        "tune",
+        seconds=0.3,
+        attrs={"model": "LogisticRegressionClassifier", "fast_path": True},
+        counters={"fit_seconds": 0.25, "score_seconds": 0.02},
+    ),
+    span_event(
+        "tune",
+        seconds=0.3,
+        attrs={"model": "DecisionTreeClassifier", "fast_path": False},
+        counters={"fit_seconds": 0.2, "score_seconds": 0.01},
+    ),
+    point_event(
+        "retry", dataset="german", attempt=1, error="CellTimeoutError: slow"
+    ),
+    point_event("retry", dataset="german", attempt=2, error="RuntimeError: x"),
+    point_event(
+        "poison", dataset="german", attempts=3, error="RuntimeError: dead"
+    ),
+    point_event("backoff_sleep", seconds=0.5),
+    point_event("backoff_sleep", seconds=0.25),
+    point_event("fault_injected", fault="crash_pre_append"),
+    point_event("fault_injected", fault="crash_pre_append"),
+    point_event("fault_injected", fault="slow_cell"),
+    {
+        "v": 1,
+        "kind": "metric",
+        "type": "counter",
+        "name": "cache_hit",
+        "labels": {"cache": "featurizer"},
+        "value": 3.0,
+    },
+    {
+        "v": 1,
+        "kind": "metric",
+        "type": "counter",
+        "name": "cache_miss",
+        "labels": {"cache": "featurizer"},
+        "value": 1.0,
+    },
+    {
+        "v": 1,
+        "kind": "metric",
+        "type": "counter",
+        "name": "timeouts",
+        "labels": {},
+        "value": 1.0,
+    },
+]
+
+
+def test_build_health_folds_all_event_kinds():
+    health = build_health(SYNTHETIC_EVENTS)
+    assert health.n_events == len(SYNTHETIC_EVENTS)
+    assert health.phase_totals["cell"] == {"count": 2, "seconds": 1.0}
+    assert health.model_seconds == {"log_reg": 0.4, "knn": 0.6}
+    assert health.detector_stats["cleanlab"]["flagged"] == 40
+    assert health.repair_stats["flip_labels"]["count"] == 1
+    assert health.tuning["fit_seconds"] == 0.45
+    assert health.tuning["fast_path"] == 1
+    assert health.tuning["naive"] == 1
+    assert health.retries == 2
+    assert health.poisoned == 1
+    assert health.timeouts == 1  # only the CellTimeoutError retry
+    assert health.backoff_seconds == 0.75
+    assert health.faults == {"crash_pre_append": 2, "slow_cell": 1}
+    assert health.cache["featurizer"]["hit_rate"] == 0.75
+    assert health.counters["timeouts"] == 1.0
+    assert health.counters["cache_hit{cache=featurizer}"] == 3.0
+
+
+def test_slowest_cells_sorted_descending():
+    health = build_health(SYNTHETIC_EVENTS)
+    assert [c["seconds"] for c in health.slowest_cells] == [0.6, 0.4]
+    assert health.slowest_cells[0]["model"] == "knn"
+
+
+def test_failures_count_as_poisoned():
+    failure = {
+        "dataset": "german",
+        "error_type": "mislabels",
+        "repetition": 1,
+        "attempts": 3,
+        "error": "RuntimeError: boom",
+    }
+    health = build_health([], failures=[failure])
+    assert health.poisoned == 1
+    assert health.failures == [failure]
+
+
+def test_empty_health_renders_without_sections():
+    report = render_health_report(build_health([]))
+    assert report.startswith("RUN HEALTH")
+    assert "Phase totals" not in report
+    assert "Slowest cells" not in report
+
+
+def test_render_contains_every_populated_section():
+    failure = {"dataset": "adult", "attempts": 3, "error": "boom"}
+    report = render_health_report(build_health(SYNTHETIC_EVENTS, [failure]))
+    for heading in (
+        "Phase totals",
+        "Cell time by model",
+        "Detectors",
+        "Repairs",
+        "Hyperparameter tuning",
+        "Caches",
+        "Slowest cells (top 10)",
+        "Injected faults observed",
+        "Poisoned work units",
+    ):
+        assert heading in report, heading
+    assert "fast-path searches: 1" in report
+    assert "naive searches: 1" in report
+    assert "75.0%" in report  # featurizer hit rate
+
+
+def test_render_top_limits_cell_rows():
+    events = [cell(repetition=i, seconds=float(i + 1)) for i in range(5)]
+    report = render_health_report(build_health(events), top=2)
+    assert "Slowest cells (top 2)" in report
+    assert report.count("german/mislabels/") == 2
+    assert "german/mislabels/4" in report and "german/mislabels/3" in report
+    assert "german/mislabels/2" not in report
+
+
+def test_to_json_is_json_serialisable():
+    health = build_health(SYNTHETIC_EVENTS)
+    payload = json.loads(json.dumps(health.to_json()))
+    assert payload["retries"] == 2
+    assert payload["faults"]["slow_cell"] == 1
+
+
+def test_load_health_reads_shards_and_sidecar(tmp_path):
+    trace = tmp_path / "t.trace.jsonl"
+    with trace.open("w") as handle:
+        for event in SYNTHETIC_EVENTS:
+            handle.write(json.dumps(event) + "\n")
+        handle.write('{"kind":"span","torn')  # crash-torn tail
+    failures = tmp_path / "t.failures.jsonl"
+    failures.write_text(
+        json.dumps({"dataset": "german", "attempts": 3, "error": "x"}) + "\n"
+    )
+    health = load_health([trace], failures)
+    assert health.n_events == len(SYNTHETIC_EVENTS)
+    assert health.poisoned == 2  # poison event + sidecar entry
+
+
+def test_default_run_health_is_empty():
+    health = RunHealth()
+    assert health.n_events == 0
+    assert health.to_json()["phase_totals"] == {}

@@ -146,6 +146,73 @@ def test_study_rejects_bad_executor_flags(capsys, flag, value):
     assert flag in err
 
 
+@pytest.mark.parametrize(
+    "argv,flag",
+    [
+        (["study", "--store", "s.json", "--trace=yes"], "--trace"),
+        (["obs-report"], "store"),
+        (["obs-report", "s.json", "--top", "0"], "--top"),
+        (["obs-report", "s.json", "--top", "-3"], "--top"),
+        (["obs-report", "s.json", "--top", "ten"], "--top"),
+    ],
+)
+def test_observability_flags_rejected_with_message(capsys, argv, flag):
+    """Malformed --trace / obs-report arguments exit 2 naming the
+    offending flag, mirroring the executor-flag validation."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert flag in capsys.readouterr().err
+
+
+def test_study_accepts_no_trace_default(tmp_path):
+    args = build_parser().parse_args(
+        ["study", "--store", "s.json", "--no-trace"]
+    )
+    assert args.trace is False
+    assert build_parser().parse_args(["study", "--store", "s.json"]).trace is False
+
+
+def test_obs_report_without_trace_data(tmp_path, capsys):
+    assert main(["obs-report", str(tmp_path / "none.json")]) == 1
+    assert "--trace" in capsys.readouterr().out
+
+
+def test_traced_study_and_obs_report_roundtrip(tmp_path, capsys):
+    """--trace produces a trace sidecar an obs-report can render,
+    without changing the study records."""
+    store_path = str(tmp_path / "store.json")
+    code = main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "1",
+            "--trace",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert (tmp_path / "store.trace.jsonl").exists()
+    assert main(["obs-report", store_path, "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "RUN HEALTH" in out
+    assert "Slowest cells (top 3)" in out
+    assert "Cell time by model" in out
+    from repro.benchmark import ResultStore
+
+    store = ResultStore(tmp_path / "store.json")
+    assert store.verify() == []
+    assert len(store) == 3  # 1 repetition x 3 default models
+
+
 def test_study_with_hardening_flags(tmp_path, capsys):
     """The retry/timeout/fsync flags route through the hardened
     executor and still produce a complete, verifiable store."""
