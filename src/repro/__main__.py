@@ -6,6 +6,7 @@ Subcommands::
     python -m repro rq1 [--dataset NAME] [--intersectional]
     python -m repro study --error-type TYPE --store PATH [options]
     python -m repro tables --store PATH           # Tables II-XIII + XIV
+    python -m repro store-migrate STORE           # legacy -> sharded layout
     python -m repro obs-report STORE              # run-health summary
 """
 
@@ -111,10 +112,12 @@ def _cmd_study(args: argparse.Namespace) -> int:
         or args.fsync_journal
         or args.trace
     )
-    if config.workers > 1 or fault_flags:
+    if config.workers > 1 or fault_flags or args.backend != "process":
         from repro.benchmark import ExecutorOptions, run_parallel_study
 
         options = ExecutorOptions(
+            backend=args.backend,
+            transport=args.transport,
             max_retries=2 if args.max_retries is None else args.max_retries,
             cell_timeout=args.cell_timeout,
             fsync_journal=args.fsync_journal,
@@ -206,6 +209,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    path = Path(args.store)
+    if not path.exists():
+        print(f"no store at {path}")
+        return 1
+    store = ResultStore(path)
+    if not store.is_legacy and not store.journal_paths():
+        print(f"{path} is already a sharded store; nothing to migrate")
+        return 0
+    n_records = len(store)
+    was_legacy = store.is_legacy
+    if args.verify:
+        violations = store.verify()
+        if violations:
+            for violation in violations:
+                print(f"  {violation}")
+            print(f"{path}: {len(violations)} violation(s); not migrating")
+            return 1
+    store.save()
+    what = "legacy store" if was_legacy else "journal shards"
+    n_shards = len(list(store.store_dir.glob("*.jsonl.gz")))
+    print(
+        f"migrated {what} at {path} to the sharded layout "
+        f"({n_records} records, {n_shards} shard(s))"
+    )
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs import render_health_report
 
@@ -255,6 +288,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are byte-identical to a serial run)",
     )
     study.add_argument(
+        "--backend",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="where work units execute: a multiprocessing pool (default), "
+        "a thread pool (zero transport cost; worthwhile for GIL-releasing "
+        "numpy workloads), or a serial in-process loop — the result store "
+        "is byte-identical across all three",
+    )
+    study.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="how datasets reach process-pool workers: zero-copy "
+        "shared-memory segments, pickled tables, or auto-detect "
+        "(default; shm where available)",
+    )
+    study.add_argument(
         "--max-retries",
         type=_non_negative_int,
         default=None,
@@ -291,6 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", help="output path (stdout when omitted)")
     report.add_argument("--title", default="Study report")
     report.set_defaults(func=_cmd_report)
+
+    migrate = sub.add_parser(
+        "store-migrate",
+        help="migrate a legacy monolithic result store (and any journal "
+        "shards) to the sharded layout",
+    )
+    migrate.add_argument("store", help="path of the store's JSON file")
+    migrate.add_argument(
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="audit the store before migrating and refuse on violations "
+        "(default on)",
+    )
+    migrate.set_defaults(func=_cmd_store_migrate)
 
     obs_report = sub.add_parser(
         "obs-report", help="render a run-health summary from trace sidecars"

@@ -10,13 +10,17 @@ disparity analysis (Section III) and the Section VI deep dive.
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.models import MODEL_NAMES, model_search
 from repro.benchmark.results import (
+    STORE_FORMAT,
     JournalWriter,
     ResultStore,
     RunRecord,
     record_checksum,
+    write_legacy_store,
 )
 from repro.benchmark.runner import ExperimentRunner
 from repro.benchmark.parallel import (
+    BACKENDS,
+    TRANSPORTS,
     CellTimeoutError,
     ExecutorOptions,
     StudyAborted,
@@ -24,6 +28,13 @@ from repro.benchmark.parallel import (
     backoff_delay,
     plan_work_units,
     run_parallel_study,
+)
+from repro.benchmark.transport import (
+    ShmRegistry,
+    TableRef,
+    attach_table,
+    publish_table,
+    shared_memory_available,
 )
 from repro.benchmark.impact import (
     ConfigurationImpact,
@@ -38,13 +49,22 @@ __all__ = [
     "StudyConfig",
     "MODEL_NAMES",
     "model_search",
+    "STORE_FORMAT",
     "JournalWriter",
     "ResultStore",
     "RunRecord",
     "record_checksum",
+    "write_legacy_store",
     "ExperimentRunner",
+    "BACKENDS",
+    "TRANSPORTS",
     "CellTimeoutError",
     "ExecutorOptions",
+    "ShmRegistry",
+    "TableRef",
+    "attach_table",
+    "publish_table",
+    "shared_memory_available",
     "StudyAborted",
     "WorkUnit",
     "backoff_delay",

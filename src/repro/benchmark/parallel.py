@@ -16,13 +16,18 @@ Three pieces cooperate:
   including cells recovered from a journal shard of a killed run) and
   groups them into :class:`WorkUnit` shards that share one expensive
   version preparation (dataset, error_type, repetition).
-- :func:`run_parallel_study` ships units to a ``multiprocessing``
-  worker pool (stdlib only; the fork start method where available —
-  it is cheap and does not re-import the parent — with a spawn
-  fallback elsewhere). Workers cache generated datasets per process
-  and append every completed record to their own JSONL journal shard
-  (``{stem}.w{pid}.jsonl``) the moment it exists, so a killed run
-  loses at most the in-flight cells.
+- :func:`run_parallel_study` ships units to a worker pool selected by
+  :attr:`ExecutorOptions.backend`: a ``multiprocessing`` pool (stdlib
+  only; the fork start method where available — it is cheap and does
+  not re-import the parent — with a spawn fallback elsewhere), a
+  thread pool for GIL-releasing workloads, or a serial in-process
+  loop. Process-pool workers receive datasets over the
+  :attr:`ExecutorOptions.transport` — zero-copy shared-memory refs
+  (:mod:`repro.benchmark.transport`) where available, pickled tables
+  otherwise — and every worker appends each completed record to its
+  own JSONL journal shard (``{stem}.w{pid}.jsonl``; thread workers
+  ``{stem}.w{pid}.t{tid}.jsonl``) the moment it exists, so a killed
+  run loses at most the in-flight cells.
 - The parent merges worker results into the master store and calls
   :meth:`ResultStore.save`, which compacts journal shards into the
   single ``{stem}.json``.
@@ -58,8 +63,10 @@ from __future__ import annotations
 import json
 import os
 import signal
+import threading
 import time
 import zlib
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -69,6 +76,12 @@ from repro import obs
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.results import JournalWriter, ResultStore, RunRecord
 from repro.benchmark.runner import ERROR_TYPES, Cell, ExperimentRunner
+from repro.benchmark.transport import (
+    ShmRegistry,
+    TableRef,
+    attach_table,
+    shared_memory_available,
+)
 from repro.cleaning.strategies import (
     MISSING_VALUE_REPAIRS,
     OUTLIER_DETECTORS,
@@ -202,18 +215,46 @@ class StudyAborted(RuntimeError):
     """
 
 
+#: Valid values of :attr:`ExecutorOptions.backend`.
+BACKENDS = ("process", "thread", "serial")
+
+#: Valid values of :attr:`ExecutorOptions.transport`.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+
 @dataclass(frozen=True)
 class ExecutorOptions:
-    """Fault-tolerance knobs of :func:`run_parallel_study`.
+    """Execution and fault-tolerance knobs of :func:`run_parallel_study`.
 
     Attributes:
+        backend: Where work units execute. ``"process"`` (default) uses
+            a ``multiprocessing`` pool; ``"thread"`` a
+            ``ThreadPoolExecutor`` in the parent process — zero
+            transport cost, worthwhile when the hot path releases the
+            GIL (numpy kernels, scipy optimisers); ``"serial"`` runs
+            units in-process one by one regardless of ``workers``.
+            The result store is byte-identical across all three.
+        transport: How generated datasets reach process-pool workers.
+            ``"shm"`` publishes each dataset once into shared-memory
+            segments (see :mod:`repro.benchmark.transport`) and ships
+            workers a zero-copy ref; ``"pickle"`` loads the dataset in
+            the parent and pickles the table into every task;
+            ``"auto"`` (default) picks shm when available, else
+            pickle. Ignored by the thread and serial backends, which
+            share the parent's address space.
         max_retries: Re-queue attempts per failing work unit before it
             is poisoned (recorded in ``{stem}.failures.jsonl`` and
             skipped rather than aborting the study).
         cell_timeout: Wall-clock seconds one ``(model, tuning_seed)``
             cell may take before a ``SIGALRM`` watchdog raises
-            :class:`CellTimeoutError` inside the worker (None disables;
-            requires the platform to provide ``SIGALRM``).
+            :class:`CellTimeoutError` inside the worker (None
+            disables). Off the main thread — thread backend — or on
+            platforms without ``SIGALRM``, a monotonic post-hoc
+            deadline check stands in for the watchdog: it cannot
+            interrupt a hung cell, but an overrunning cell still fails
+            with :class:`CellTimeoutError` once it returns (the
+            ``cell_deadline_fallback`` counter in :mod:`repro.obs`
+            records every such degradation).
         fsync_journal: fsync every journal append before acknowledging
             it (durable against power loss, slower).
         backoff_base: First retry delay in seconds; each further
@@ -239,6 +280,8 @@ class ExecutorOptions:
             byte-identical with tracing on or off.
     """
 
+    backend: str = "process"
+    transport: str = "auto"
     max_retries: int = 2
     cell_timeout: float | None = None
     fsync_journal: bool = False
@@ -250,6 +293,14 @@ class ExecutorOptions:
     trace: bool = False
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; valid: {BACKENDS}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; valid: {TRANSPORTS}"
+            )
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.cell_timeout is not None and self.cell_timeout <= 0:
@@ -283,15 +334,45 @@ def backoff_delay(
 
 
 @contextmanager
+def _monotonic_deadline(seconds: float):
+    """Post-hoc deadline check for contexts that cannot arm SIGALRM.
+
+    Cannot interrupt a hung cell (nothing can, off the main thread),
+    but a cell that overran its deadline still *fails* — with the same
+    :class:`CellTimeoutError` the watchdog raises — once its body
+    returns, so retry/poison accounting stays uniform across backends.
+    Records already journaled by the overrunning cell survive via the
+    normal replay path, exactly as they would after a watchdog kill.
+    Every use bumps the ``cell_deadline_fallback`` warning counter.
+    """
+    obs.counter("cell_deadline_fallback")
+    started = time.monotonic()
+    yield
+    elapsed = time.monotonic() - started
+    if elapsed > seconds:
+        raise CellTimeoutError(
+            f"cell exceeded {seconds:g}s deadline ({elapsed:.3f}s, "
+            "post-hoc monotonic check)"
+        )
+
+
+@contextmanager
 def _cell_deadline(seconds: float | None):
     """Arm a ``SIGALRM`` watchdog that turns a hung cell into an error.
 
-    No-op when ``seconds`` is None, the platform lacks ``SIGALRM``, or
-    the caller is not the main thread of its process (pool workers and
-    the in-process executor both run cells on the main thread).
+    No-op when ``seconds`` is None. When the platform lacks
+    ``SIGALRM`` or the caller is not the main thread of its process
+    (the thread backend; pool workers and the in-process executor run
+    cells on the main thread), degrades to the
+    :func:`_monotonic_deadline` post-hoc check instead of silently
+    dropping the deadline.
     """
-    if seconds is None or not hasattr(signal, "SIGALRM"):
+    if seconds is None:
         yield
+        return
+    if not hasattr(signal, "SIGALRM"):
+        with _monotonic_deadline(seconds):
+            yield
         return
 
     def _on_alarm(signum, frame):
@@ -300,7 +381,8 @@ def _cell_deadline(seconds: float | None):
     try:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
     except ValueError:  # not in the main thread
-        yield
+        with _monotonic_deadline(seconds):
+            yield
         return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
@@ -366,28 +448,84 @@ def _pool_context():
 
 #: Per-process cache of generated datasets, keyed by
 #: (name, n_rows, seed) — pool workers execute many units of the same
-#: dataset and must not regenerate it each time.
+#: dataset and must not regenerate it each time. Guarded by a lock for
+#: the thread backend, where workers share the parent's cache.
 _DATASET_CACHE: dict[tuple[str, int, int], Any] = {}
+_DATASET_CACHE_LOCK = threading.Lock()
 
 
 def _load_cached(name: str, n_rows: int, seed: int):
     key = (name, n_rows, seed)
-    if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = load_dataset(name, n_rows=n_rows, seed=seed)
-    return _DATASET_CACHE[key]
+    with _DATASET_CACHE_LOCK:
+        if key not in _DATASET_CACHE:
+            _DATASET_CACHE[key] = load_dataset(name, n_rows=n_rows, seed=seed)
+        return _DATASET_CACHE[key]
 
 
-#: Worker task: (config, unit, journal prefix, options, attempt number).
-_Task = tuple[StudyConfig, WorkUnit, "str | None", ExecutorOptions, int]
+#: Per-process cache of shared-memory attachments, keyed by segment
+#: names. Holds (table, segment handles): the handles MUST stay
+#: referenced while the table is in use or the mapping would close
+#: under the zero-copy column views.
+_ATTACH_CACHE: dict[tuple[str, ...], Any] = {}
+
+
+def _attach_cached(ref: TableRef):
+    key = ref.segment_names
+    with _DATASET_CACHE_LOCK:
+        if key not in _ATTACH_CACHE:
+            _ATTACH_CACHE[key] = attach_table(ref)
+        return _ATTACH_CACHE[key][0]
+
+
+def _resolve_dataset(config: StudyConfig, unit: WorkUnit, payload: Any):
+    """Materialise a unit's (definition, table) from its task payload.
+
+    ``payload`` is a :class:`TableRef` under the shm transport, a
+    pickled :class:`repro.tabular.Table` under the pickle transport,
+    or None when the worker shares the parent's address space (thread
+    and serial backends, the in-process path) and loads from the
+    per-process cache directly.
+    """
+    if isinstance(payload, TableRef):
+        return dataset_definition(unit.dataset), _attach_cached(payload)
+    if payload is not None:
+        return dataset_definition(unit.dataset), payload
+    return _load_cached(
+        unit.dataset, config.dataset_size(unit.dataset), config.generation_seed
+    )
+
+
+def _journal_shard_suffix() -> str:
+    """Journal shard id of the calling worker.
+
+    Pool workers (and the in-process path) journal per process; thread
+    workers share a pid and journal per thread — concurrent appenders
+    must never interleave inside one file.
+    """
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"w{os.getpid()}"
+    return f"w{os.getpid()}.t{thread.ident}"
+
+
+#: Worker task: (config, unit, journal prefix, options, attempt
+#: number, dataset payload — see :func:`_resolve_dataset`).
+_Task = tuple[StudyConfig, WorkUnit, "str | None", ExecutorOptions, int, Any]
 
 
 def _run_unit(task: _Task) -> list[dict[str, Any]]:
-    config, unit, journal_prefix, options, attempt = task
-    # each process traces into its own shard file (pid-keyed, like the
-    # journal shards); the scope restores any ambient tracer afterwards
+    config, unit, journal_prefix, options, attempt, payload = task
+    # each worker *process* traces into its own shard file (pid-keyed,
+    # like the journal shards); the scope restores any ambient tracer
+    # afterwards. Thread workers must NOT re-scope — the scope swaps
+    # process-global tracer state — and instead emit into the parent's
+    # (thread-safe) sink directly.
     trace_scope = (
         obs.scoped(f"{journal_prefix}.trace.w{os.getpid()}.jsonl")
-        if options.trace and journal_prefix is not None
+        if options.trace
+        and journal_prefix is not None
+        and options.backend != "thread"
+        and threading.current_thread() is threading.main_thread()
         else nullcontext()
     )
     with trace_scope:
@@ -395,10 +533,8 @@ def _run_unit(task: _Task) -> list[dict[str, Any]]:
 
 
 def _run_unit_traced(task: _Task) -> list[dict[str, Any]]:
-    config, unit, journal_prefix, options, attempt = task
-    definition, table = _load_cached(
-        unit.dataset, config.dataset_size(unit.dataset), config.generation_seed
-    )
+    config, unit, journal_prefix, options, attempt, payload = task
+    definition, table = _resolve_dataset(config, unit, payload)
     injector = None
     if options.fault_plan is not None:
         injector = options.fault_plan.unit_injector(
@@ -410,7 +546,8 @@ def _run_unit_traced(task: _Task) -> list[dict[str, Any]]:
         )
     journal = (
         JournalWriter(
-            f"{journal_prefix}.w{os.getpid()}.jsonl", fsync=options.fsync_journal
+            f"{journal_prefix}.{_journal_shard_suffix()}.jsonl",
+            fsync=options.fsync_journal,
         )
         if journal_prefix is not None
         else None
@@ -551,6 +688,32 @@ def run_parallel_study(
     journal_prefix = (
         str(store.path.with_suffix("")) if store.path is not None else None
     )
+    in_process = (
+        options.backend == "serial" or workers == 1 or len(units) == 1
+    )
+    # dataset transport only applies across process boundaries; thread
+    # and serial workers share the parent's address space and cache
+    transport = options.transport if options.backend == "process" and not in_process else "none"
+    if transport == "auto":
+        transport = "shm" if shared_memory_available() else "pickle"
+    registry = ShmRegistry() if transport == "shm" else None
+
+    def _dataset_key(unit: WorkUnit) -> tuple[str, int, int]:
+        return (
+            unit.dataset,
+            config.dataset_size(unit.dataset),
+            config.generation_seed,
+        )
+
+    def dataset_payload(unit: WorkUnit) -> Any:
+        """Transport payload for one dispatched task (leases shm)."""
+        if transport == "none":
+            return None
+        _definition, table = _load_cached(*_dataset_key(unit))
+        if registry is not None:
+            return registry.lease(_dataset_key(unit), table)
+        return table
+
     added = 0
     merged_units = 0
     attempts: dict[tuple[str, str, int], int] = {}
@@ -649,6 +812,7 @@ def run_parallel_study(
                     journal_prefix,
                     options,
                     attempts.get(_unit_coords(unit), 0),
+                    dataset_payload(unit),
                 )
                 for unit in queue
             ]
@@ -661,6 +825,10 @@ def run_parallel_study(
                     "unit_result_latency_seconds",
                     time.perf_counter() - round_started,
                 )
+                if registry is not None:
+                    # one lease per dispatched task: a retried unit
+                    # leases afresh when its next round's task is built
+                    registry.release(_dataset_key(unit))
                 if error is None:
                     merge(unit, payloads)
                     continue
@@ -683,21 +851,41 @@ def run_parallel_study(
         if options.trace and journal_prefix is not None
         else nullcontext()
     )
-    with trace_scope:
-        obs.event(
-            "planned",
-            units=len(units),
-            cells=sum(len(unit.cells) for unit in units),
-            workers=workers,
-        )
-        if workers == 1 or len(units) == 1:
-            run_rounds(lambda tasks: map(_execute_unit, tasks))
-        else:
-            context = _pool_context()
-            with context.Pool(processes=min(workers, len(units))) as pool:
-                run_rounds(
-                    lambda tasks: pool.imap_unordered(_execute_unit, tasks)
-                )
+    try:
+        with trace_scope:
+            obs.event(
+                "planned",
+                units=len(units),
+                cells=sum(len(unit.cells) for unit in units),
+                workers=workers,
+                backend=options.backend,
+                transport=transport,
+            )
+            if in_process:
+                run_rounds(lambda tasks: map(_execute_unit, tasks))
+            elif options.backend == "thread":
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(units))
+                ) as pool:
+                    run_rounds(
+                        lambda tasks: (
+                            future.result()
+                            for future in as_completed(
+                                [pool.submit(_execute_unit, task) for task in tasks]
+                            )
+                        )
+                    )
+            else:
+                context = _pool_context()
+                with context.Pool(processes=min(workers, len(units))) as pool:
+                    run_rounds(
+                        lambda tasks: pool.imap_unordered(_execute_unit, tasks)
+                    )
+    finally:
+        # every exit path — completion, StudyAborted, a genuine crash —
+        # must leave /dev/shm clean, lease counts notwithstanding
+        if registry is not None:
+            registry.close()
     if store.path is not None:
         _write_failures(store, failures)
     if save and store.path is not None:

@@ -1,40 +1,72 @@
-"""The resumable result store.
+"""The resumable, streaming, sharded result store.
 
 Every run (one trained-and-evaluated model pair) is stored as a flat
 JSON-serialisable record under a deterministic key::
 
     {dataset}/{error_type}/{repair}/{model}/rep{repetition}/seed{seed}
 
-The store can persist to a JSON file and *resume*: re-running a study
-skips every key already present. The key→value mapping is stable by
+The store can persist to disk and *resume*: re-running a study skips
+every key already present. The key→value mapping is stable by
 construction — each record embeds its own configuration fields — which
 is precisely the reproducibility property whose violation the paper
 reported (and fixed) in the original CleanML codebase.
 
+Persistence is **sharded and streaming** (format ``sharded-v1``):
+
+- ``{stem}.json`` is a small *manifest* listing one shard per
+  ``(dataset, error_type)`` group: its file name, record count, key
+  list and content checksum. Loading a store reads only the manifest,
+  so opening a million-record study costs the key index, not the
+  records.
+- ``{stem}.store/{dataset}__{error_type}.{crc}.jsonl.gz`` holds the
+  group's records as gzip-compressed, key-sorted, checksummed JSON
+  lines. Shard files are content-addressed (the CRC-32 of the
+  uncompressed body is embedded in the name) and therefore immutable:
+  :meth:`ResultStore.save` writes *new* shard files for dirty groups,
+  atomically swaps the manifest, and only then garbage-collects
+  unreferenced shard files — a crash at any point leaves the previous
+  manifest and every shard it references intact. Compression uses a
+  fixed level and a zeroed gzip mtime, so identical records always
+  produce bit-identical shards (the parallel==serial==threaded
+  byte-identity guarantee extends to the on-disk store).
+- :meth:`ResultStore.iter_records` streams records in global key order
+  holding at most one shard in memory; :meth:`records`,
+  :meth:`distinct` and :meth:`verify` are built on the same lazy
+  access, so reporting over a huge study never materialises it.
+
+Legacy seed-era stores — a single monolithic ``{stem}.json`` with a
+``records`` array — still load transparently (eagerly, as before); the
+next :meth:`save` migrates them to the sharded layout, and
+``python -m repro store-migrate`` does the same from the command line.
+
 Incremental persistence uses an append-only JSONL journal: writers
 (e.g. parallel study workers) append one record per line to shard
 files named ``{stem}.jsonl`` or ``{stem}.{shard}.jsonl`` next to the
-store's ``{stem}.json``. Loading a store replays any journal shards on
-top of the compacted JSON, so a killed run resumes mid-shard without
-losing completed records; :meth:`ResultStore.save` compacts everything
-back into the single JSON file and removes the shards.
+manifest. Loading a store replays any journal shards on top of the
+compacted state, so a killed run resumes mid-shard without losing
+completed records; :meth:`ResultStore.save` compacts everything into
+the sharded store and removes the journals.
 
-Every persisted payload — journal lines and compacted records alike —
+Every persisted payload — journal lines and shard lines alike —
 carries a ``checksum`` field (CRC-32 of the canonical record JSON), so
 torn writes and bit rot are detectable: replay skips lines whose
 checksum does not match, and :meth:`ResultStore.verify` audits the
 whole on-disk state (duplicate keys, conflicting payloads, orphan
-shards, checksum mismatches, poisoned units) after a run.
+shards, checksum mismatches, poisoned units) one shard at a time.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
+
+#: Manifest format tag of the sharded store layout.
+STORE_FORMAT = "sharded-v1"
 
 
 @dataclass(frozen=True)
@@ -112,6 +144,98 @@ def record_checksum(payload: dict[str, Any]) -> str:
     return f"{zlib.crc32(canonical.encode('utf-8')):08x}"
 
 
+def shard_group_of_key(key: str) -> tuple[str, str]:
+    """The ``(dataset, error_type)`` shard group a record key belongs to.
+
+    Derivable from the key alone because dataset and error-type names
+    never contain ``/`` — the property that lets membership checks and
+    single-record reads find the right shard without opening any.
+    """
+    dataset, error_type, _rest = key.split("/", 2)
+    return dataset, error_type
+
+
+def open_shard(path: Path):
+    """Open a compressed shard file for streaming text-line reads.
+
+    A module-level seam so tests can spy on shard opens (asserting
+    that streaming readers never hold more than one shard at a time).
+    """
+    return gzip.open(path, "rt", encoding="utf-8")
+
+
+def write_legacy_store(path: str | Path, records: list[RunRecord]) -> None:
+    """Write a seed-era monolithic ``{stem}.json`` store.
+
+    Only used by migration tests and tooling: production saves always
+    write the sharded layout. The payload matches the pre-``sharded-v1``
+    format byte for byte (checksummed records under a ``records`` key).
+    """
+    path = Path(path)
+    payload = {
+        "records": [
+            {**body, "checksum": record_checksum(body)}
+            for body in (
+                record.to_json()
+                for record in sorted(records, key=lambda r: r.key)
+            )
+        ]
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One manifest entry: a ``(dataset, error_type)`` group's shard.
+
+    Attributes:
+        dataset: Group dataset name.
+        error_type: Group error type.
+        file: Shard file name inside the store directory. Deliberately
+            not a path: embedding the (stem-derived) directory name
+            would make two otherwise-identical stores' manifests
+            differ, breaking the byte-identity guarantee.
+        crc: CRC-32 (8 hex digits) of the uncompressed shard body —
+            also embedded in ``file``, making shards content-addressed.
+        keys: Sorted record keys stored in the shard. The manifest is
+            therefore a complete key index: membership and planning
+            never open a shard.
+    """
+
+    dataset: str
+    error_type: str
+    file: str
+    crc: str
+    keys: tuple[str, ...]
+
+    @property
+    def group(self) -> tuple[str, str]:
+        """The ``(dataset, error_type)`` group id."""
+        return (self.dataset, self.error_type)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "error_type": self.error_type,
+            "file": self.file,
+            "crc": self.crc,
+            "records": len(self.keys),
+            "keys": list(self.keys),
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "ShardInfo":
+        return ShardInfo(
+            dataset=payload["dataset"],
+            error_type=payload["error_type"],
+            file=payload["file"],
+            crc=payload["crc"],
+            keys=tuple(payload["keys"]),
+        )
+
+
 class JournalWriter:
     """Append-only JSONL writer for incremental record persistence.
 
@@ -185,12 +309,27 @@ class JournalWriter:
 
 
 class ResultStore:
-    """In-memory result store with optional JSON persistence."""
+    """Result store with lazy sharded persistence.
+
+    In-memory stores (no path) hold everything in a dict as before.
+    Disk-backed stores keep only *pending* records (added this session
+    or replayed from journals) plus the manifest's key index in
+    memory; shard payloads load lazily, at most one at a time.
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self._path = Path(path) if path is not None else None
-        self._records: dict[str, RunRecord] = {}
-        self._sorted: list[tuple[str, RunRecord]] | None = None
+        #: Records not yet compacted into a shard (in-memory adds,
+        #: journal replays, and — for legacy stores — every record).
+        self._pending: dict[str, RunRecord] = {}
+        #: Manifest entries by (dataset, error_type) group.
+        self._shards: dict[tuple[str, str], ShardInfo] = {}
+        #: Union of all shard key lists (fast membership).
+        self._shard_keys: set[str] = set()
+        #: Single-entry shard cache: (group, {key: record}).
+        self._cached_shard: tuple[tuple[str, str], dict[str, RunRecord]] | None = None
+        #: True when loaded from a seed-era monolithic JSON file.
+        self._legacy = False
         if self._path is not None:
             if self._path.exists():
                 self._load()
@@ -198,16 +337,99 @@ class ResultStore:
 
     @property
     def path(self) -> Path | None:
-        """The backing JSON path (None for in-memory stores)."""
+        """The backing manifest path (None for in-memory stores)."""
         return self._path
+
+    @property
+    def store_dir(self) -> Path | None:
+        """Directory holding the compressed record shards."""
+        if self._path is None:
+            return None
+        return self._path.parent / f"{self._path.stem}.store"
+
+    @property
+    def is_legacy(self) -> bool:
+        """True when the on-disk state is a monolithic seed-era file.
+
+        The next :meth:`save` migrates it to the sharded layout.
+        """
+        return self._legacy
 
     def _load(self) -> None:
         assert self._path is not None
         with self._path.open("r") as handle:
             payload = json.load(handle)
-        for record_payload in payload["records"]:
-            record = RunRecord.from_json(record_payload)
-            self._records[record.key] = record
+        if isinstance(payload, dict) and payload.get("format") == STORE_FORMAT:
+            for entry in payload["shards"]:
+                info = ShardInfo.from_json(entry)
+                self._shards[info.group] = info
+                self._shard_keys.update(info.keys)
+            return
+        if isinstance(payload, dict) and "records" in payload:
+            # legacy monolithic store: load eagerly (as the seed did);
+            # every record is pending until a save migrates the layout
+            self._legacy = True
+            for record_payload in payload["records"]:
+                record = RunRecord.from_json(record_payload)
+                self._pending[record.key] = record
+            return
+        raise ValueError(
+            f"{self._path}: neither a {STORE_FORMAT} manifest nor a "
+            "legacy record store"
+        )
+
+    # -- shard access ----------------------------------------------------
+
+    def _shard_path(self, info: ShardInfo) -> Path:
+        directory = self.store_dir
+        assert directory is not None
+        return directory / info.file
+
+    def _shard_records(self, group: tuple[str, str]) -> dict[str, RunRecord]:
+        """Records of one shard, via a single-entry cache."""
+        if self._cached_shard is not None and self._cached_shard[0] == group:
+            return self._cached_shard[1]
+        info = self._shards.get(group)
+        if info is None:
+            return {}
+        records: dict[str, RunRecord] = {}
+        with open_shard(self._shard_path(info)) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = RunRecord.from_json(json.loads(line))
+                records[record.key] = record
+        self._cached_shard = (group, records)
+        return records
+
+    def _pending_by_group(self) -> dict[tuple[str, str], dict[str, RunRecord]]:
+        groups: dict[tuple[str, str], dict[str, RunRecord]] = {}
+        for key, record in self._pending.items():
+            groups.setdefault(shard_group_of_key(key), {})[key] = record
+        return groups
+
+    def _iter_group_records(
+        self,
+        group: tuple[str, str],
+        pending: dict[str, RunRecord] | None = None,
+    ) -> Iterator[RunRecord]:
+        """One group's records in key order (shard merged with pending)."""
+        merged = dict(self._shard_records(group))
+        if pending:
+            merged.update(pending)
+        for key in sorted(merged):
+            yield merged[key]
+
+    def _groups(self) -> list[tuple[str, str]]:
+        """All (dataset, error_type) groups with any records, sorted.
+
+        Sorted group order concatenated with in-group key order equals
+        global key order, because a key starts with its group fields.
+        """
+        groups = set(self._shards)
+        groups.update(shard_group_of_key(key) for key in self._pending)
+        return sorted(groups)
 
     # -- JSONL journal ---------------------------------------------------
 
@@ -378,118 +600,239 @@ class ResultStore:
                     checksum = payload.get("checksum")
                     if checksum is not None and checksum != record_checksum(payload):
                         continue
-                    if record.key not in self._records:
-                        self._records[record.key] = record
+                    if record.key not in self:
+                        self._pending[record.key] = record
                         recovered += 1
-        if recovered:
-            self._sorted = None
         return recovered
 
     # backwards-compatible alias (pre-hardening private name)
     _replay_journal = replay_journal
 
-    def save(self) -> None:
-        """Persist all records to the store's JSON path.
+    # -- compaction ------------------------------------------------------
 
-        Compacts the store: journal shards are replayed one final time
-        (so records journaled by workers but never merged in-memory —
-        e.g. from a crashed-and-poisoned unit — cannot be lost), the
-        full payload is written to a temporary file, flushed and
-        fsynced, and atomically renamed over ``{stem}.json``; only then
-        are the shards removed. A crash at any point mid-compaction
-        therefore leaves either the old or the new file intact, never a
-        partial one, and never drops a journaled record.
+    def _shard_body(self, records: dict[str, RunRecord]) -> bytes:
+        """Canonical uncompressed shard body for a group's records."""
+        lines = []
+        for key in sorted(records):
+            payload = records[key].to_json()
+            payload["checksum"] = record_checksum(payload)
+            lines.append(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+    def _write_shard(
+        self, group: tuple[str, str], records: dict[str, RunRecord]
+    ) -> tuple[ShardInfo, Path]:
+        """Write one content-addressed shard file atomically.
+
+        The file name embeds the body CRC, so a shard is never
+        overwritten in place: an identical body maps to the identical
+        file (rewriting it is a no-op), a different body maps to a new
+        file, and the old one stays valid until the manifest stops
+        referencing it.
+        """
+        assert self._path is not None and self.store_dir is not None
+        body = self._shard_body(records)
+        crc = f"{zlib.crc32(body):08x}"
+        dataset, error_type = group
+        name = f"{dataset}__{error_type}.{crc}.jsonl.gz"
+        path = self.store_dir / name
+        info = ShardInfo(
+            dataset=dataset,
+            error_type=error_type,
+            file=name,
+            crc=crc,
+            keys=tuple(sorted(records)),
+        )
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_name(path.name + ".tmp")
+        try:
+            with tmp_path.open("wb") as raw:
+                # fixed mtime + level: identical records => identical bytes
+                with gzip.GzipFile(
+                    fileobj=raw, mode="wb", mtime=0, compresslevel=9
+                ) as compressed:
+                    compressed.write(body)
+                raw.flush()
+                os.fsync(raw.fileno())
+            tmp_path.replace(path)
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            raise
+        return info, path
+
+    def _gc_store_dir(self) -> None:
+        """Remove shard files no manifest entry references anymore."""
+        directory = self.store_dir
+        if directory is None or not directory.exists():
+            return
+        referenced = {self._shard_path(info) for info in self._shards.values()}
+        for path in directory.glob("*.jsonl.gz"):
+            if path not in referenced:
+                path.unlink()
+
+    def save(self) -> None:
+        """Compact all records into the sharded store.
+
+        Journal shards are replayed one final time (so records
+        journaled by workers but never merged in-memory — e.g. from a
+        crashed-and-poisoned unit — cannot be lost), every dirty
+        ``(dataset, error_type)`` group is written as a fresh
+        content-addressed shard file, and the manifest is atomically
+        renamed over ``{stem}.json``; only then are the journal shards
+        removed and unreferenced shard files garbage-collected. A
+        crash at any point mid-compaction therefore leaves either the
+        old or the new store intact, never a partial one, and never
+        drops a journaled record. Groups without new records keep
+        their existing shard files untouched, so an incremental save
+        costs O(changed records), not O(store).
+
+        A legacy monolithic store is migrated to the sharded layout by
+        its first save (the manifest replaces the old file in the same
+        atomic rename).
         """
         if self._path is None:
             raise RuntimeError("this ResultStore has no backing path")
         self.replay_journal()
-        payload = {
-            "records": [
-                {**body, "checksum": record_checksum(body)}
-                for body in (
-                    record.to_json() for __, record in self._sorted_items()
-                )
-            ]
-        }
-        self._path.parent.mkdir(parents=True, exist_ok=True)
-        tmp_path = self._path.with_name(self._path.name + ".tmp")
+        pending_groups = self._pending_by_group()
+        written: dict[tuple[str, str], ShardInfo] = {}
+        new_paths: list[Path] = []
         try:
-            with tmp_path.open("w") as handle:
-                json.dump(payload, handle, indent=1)
-                handle.flush()
-                os.fsync(handle.fileno())
-            tmp_path.replace(self._path)
+            for group in sorted(pending_groups):
+                merged = dict(self._shard_records(group))
+                merged.update(pending_groups[group])
+                info, path = self._write_shard(group, merged)
+                written[group] = info
+                new_paths.append(path)
+            manifest_shards = {**self._shards, **written}
+            payload = {
+                "format": STORE_FORMAT,
+                "shards": [
+                    manifest_shards[group].to_json()
+                    for group in sorted(manifest_shards)
+                ],
+            }
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            tmp_path = self._path.with_name(self._path.name + ".tmp")
+            try:
+                with tmp_path.open("w") as handle:
+                    json.dump(payload, handle, indent=1, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                tmp_path.replace(self._path)
+            except BaseException:
+                tmp_path.unlink(missing_ok=True)
+                raise
         except BaseException:
-            tmp_path.unlink(missing_ok=True)
+            # an uncommitted save must leave no half-written shards; the
+            # previous manifest still references only the old files
+            for path in new_paths:
+                if path not in {
+                    self._shard_path(info) for info in self._shards.values()
+                }:
+                    path.unlink(missing_ok=True)
             raise
+        self._shards = dict(manifest_shards)
+        self._shard_keys.update(self._pending)
+        self._pending.clear()
+        self._cached_shard = None
+        self._legacy = False
         for shard in self.journal_paths():
             shard.unlink()
+        self._gc_store_dir()
         self.compact_trace()
+
+    # -- verification ----------------------------------------------------
 
     def verify(self) -> list[str]:
         """Audit the on-disk state; returns human-readable violations.
 
-        Checks, across the compacted JSON and every journal shard:
+        Checks, across the manifest, every record shard (streamed one
+        at a time — verification memory is O(keys), never O(records))
+        and every journal shard:
 
-        - duplicate keys inside the compacted file,
+        - per-record checksum mismatches,
         - the same key persisted with *conflicting* payloads anywhere
           (identical re-journaled copies from a retried worker are
           benign and not flagged),
-        - per-record checksum mismatches,
+        - duplicate keys inside a shard or the legacy compacted file,
+        - shard contents disagreeing with the manifest (missing files,
+          key-set drift, body CRC mismatch, records filed under the
+          wrong ``(dataset, error_type)`` group),
         - undecodable journal lines other than a torn trailing line,
-        - orphan shards — shards fully contained in the compacted JSON,
-          i.e. a compaction that crashed between rename and cleanup,
+        - orphan journal shards — shards fully contained in the
+          compacted store, i.e. a compaction that crashed between
+          rename and cleanup — and orphan shard files no manifest
+          entry references,
         - a non-empty ``{stem}.failures.jsonl`` sidecar (poisoned work
           units mean the study is incomplete).
 
         An empty list means the persisted study is internally
-        consistent. In-memory stores trivially verify clean.
+        consistent. In-memory stores trivially verify clean. Legacy
+        monolithic stores are audited with the same checks against
+        their single ``records`` array.
         """
         issues: list[str] = []
         if self._path is None:
             return issues
-        canonical: dict[str, str] = {}
+        # key -> CRC-32 of its canonical body: conflict detection without
+        # holding any record payloads in memory
+        canonical: dict[str, int] = {}
 
-        def canonical_body(payload: dict[str, Any]) -> str:
+        def canonical_crc(payload: dict[str, Any]) -> int:
             body = {k: v for k, v in payload.items() if k != "checksum"}
-            return json.dumps(body, sort_keys=True, separators=(",", ":"))
+            return zlib.crc32(
+                json.dumps(body, sort_keys=True, separators=(",", ":")).encode(
+                    "utf-8"
+                )
+            )
 
-        def check_payload(payload: dict[str, Any], where: str) -> None:
+        def check_payload(payload: dict[str, Any], where: str) -> str | None:
             checksum = payload.get("checksum")
             if checksum is not None and checksum != record_checksum(payload):
                 issues.append(f"{where}: checksum mismatch")
-                return
+                return None
             try:
                 key = RunRecord.from_json(payload).key
             except (KeyError, TypeError, ValueError):
                 issues.append(f"{where}: not a record payload")
-                return
-            body = canonical_body(payload)
-            if key in canonical and canonical[key] != body:
+                return None
+            crc = canonical_crc(payload)
+            if key in canonical and canonical[key] != crc:
                 issues.append(f"{where}: conflicting payloads for key {key!r}")
-            canonical.setdefault(key, body)
+            canonical.setdefault(key, crc)
+            return key
 
+        seen: set[str] = set()
+        manifest: dict[tuple[str, str], ShardInfo] = {}
         if self._path.exists():
             try:
                 with self._path.open("r") as handle:
                     compacted = json.load(handle)
-                records = compacted["records"]
-            except (ValueError, KeyError, TypeError):
+            except ValueError:
                 issues.append(f"{self._path.name}: unreadable store file")
-                records = []
-            seen: set[str] = set()
-            for index, payload in enumerate(records):
-                where = f"{self._path.name}: record {index}"
-                check_payload(payload, where)
-                try:
-                    key = RunRecord.from_json(payload).key
-                except (KeyError, TypeError, ValueError):
-                    continue
-                if key in seen:
-                    issues.append(f"{where}: duplicate key {key!r}")
-                seen.add(key)
-        else:
-            seen = set()
+                compacted = {}
+            if isinstance(compacted, dict) and compacted.get("format") == STORE_FORMAT:
+                for entry in compacted.get("shards", ()):
+                    try:
+                        manifest_info = ShardInfo.from_json(entry)
+                    except (KeyError, TypeError):
+                        issues.append(
+                            f"{self._path.name}: malformed shard entry"
+                        )
+                        continue
+                    manifest[manifest_info.group] = manifest_info
+                issues.extend(self._verify_shards(manifest, check_payload, seen))
+            elif isinstance(compacted, dict) and "records" in compacted:
+                for index, payload in enumerate(compacted["records"]):
+                    where = f"{self._path.name}: record {index}"
+                    key = check_payload(payload, where)
+                    if key is None:
+                        continue
+                    if key in seen:
+                        issues.append(f"{where}: duplicate key {key!r}")
+                    seen.add(key)
+            elif compacted:
+                issues.append(f"{self._path.name}: unreadable store file")
         for shard in self.journal_paths():
             lines = shard.read_text().splitlines()
             shard_keys: list[str] = []
@@ -504,11 +847,9 @@ class ResultStore:
                         continue  # torn trailing write, skipped at replay
                     issues.append(f"{where}: undecodable journal line")
                     continue
-                check_payload(payload, where)
-                try:
-                    shard_keys.append(RunRecord.from_json(payload).key)
-                except (KeyError, TypeError, ValueError):
-                    continue
+                key = check_payload(payload, where)
+                if key is not None:
+                    shard_keys.append(key)
             if shard_keys and seen and all(key in seen for key in shard_keys):
                 issues.append(
                     f"{shard.name}: orphan shard (all {len(shard_keys)} "
@@ -526,38 +867,102 @@ class ResultStore:
                 )
         return issues
 
-    # -- record access ---------------------------------------------------
+    def _verify_shards(self, manifest, check_payload, seen) -> list[str]:
+        """Audit every manifest shard, streaming one file at a time."""
+        issues: list[str] = []
+        for group in sorted(manifest):
+            info = manifest[group]
+            path = self._shard_path(info)
+            if not path.exists():
+                issues.append(f"{info.file}: missing shard file")
+                continue
+            shard_seen: set[str] = set()
+            body = b""
+            try:
+                with path.open("rb") as raw:
+                    body = gzip.decompress(raw.read())
+            except (OSError, gzip.BadGzipFile):
+                issues.append(f"{info.file}: unreadable shard file")
+                continue
+            if f"{zlib.crc32(body):08x}" != info.crc:
+                issues.append(f"{info.file}: shard body CRC mismatch")
+            for index, line in enumerate(body.decode("utf-8").splitlines()):
+                if not line.strip():
+                    continue
+                where = f"{info.file}: record {index}"
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    issues.append(f"{where}: undecodable shard line")
+                    continue
+                key = check_payload(payload, where)
+                if key is None:
+                    continue
+                if key in shard_seen or key in seen:
+                    issues.append(f"{where}: duplicate key {key!r}")
+                if shard_group_of_key(key) != group:
+                    issues.append(
+                        f"{where}: key {key!r} filed under shard group "
+                        f"{group[0]}/{group[1]}"
+                    )
+                shard_seen.add(key)
+            if shard_seen != set(info.keys):
+                issues.append(
+                    f"{info.file}: shard keys disagree with manifest "
+                    f"({len(shard_seen)} on disk, {len(info.keys)} listed)"
+                )
+            seen.update(shard_seen)
+        directory = self.store_dir
+        if directory is not None and directory.exists():
+            referenced = {directory / info.file for info in manifest.values()}
+            for path in sorted(directory.glob("*.jsonl.gz")):
+                if path not in referenced:
+                    issues.append(
+                        f"{directory.name}/{path.name}: orphan shard file "
+                        "(not referenced by the manifest)"
+                    )
+        return issues
 
-    def _sorted_items(self) -> list[tuple[str, RunRecord]]:
-        """Key-sorted records, cached until the next :meth:`add`."""
-        if self._sorted is None:
-            self._sorted = sorted(self._records.items())
-        return self._sorted
+    # -- record access ---------------------------------------------------
 
     def add(self, record: RunRecord) -> None:
         """Insert a record; duplicate keys are rejected."""
-        if record.key in self._records:
+        if record.key in self:
             raise ValueError(f"duplicate record key {record.key!r}")
-        self._records[record.key] = record
-        self._sorted = None
+        self._pending[record.key] = record
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        return key in self._pending or key in self._shard_keys
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._pending) + len(self._shard_keys)
 
     def get(self, key: str) -> RunRecord:
-        """Fetch a record by key."""
-        try:
-            return self._records[key]
-        except KeyError:
-            raise KeyError(f"no record {key!r}") from None
+        """Fetch a record by key (loading at most one shard)."""
+        if key in self._pending:
+            return self._pending[key]
+        if key in self._shard_keys:
+            return self._shard_records(shard_group_of_key(key))[key]
+        raise KeyError(f"no record {key!r}")
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Stream every record in global key order.
+
+        Holds at most one shard's records in memory at a time: shard
+        groups are visited in sorted order and each shard is loaded,
+        merged with that group's pending records, yielded and released
+        before the next one is touched.
+        """
+        pending_groups = self._pending_by_group()
+        for group in self._groups():
+            yield from self._iter_group_records(group, pending_groups.get(group))
 
     def records(self, **filters: Any) -> Iterator[RunRecord]:
         """Iterate records matching the given field filters.
 
         Example: ``store.records(dataset="german", error_type="outliers")``.
+        Streams shard by shard; ``dataset`` / ``error_type`` filters
+        skip non-matching shards without opening them.
         """
         valid = {
             "dataset",
@@ -571,10 +976,29 @@ class ResultStore:
         unknown = set(filters) - valid
         if unknown:
             raise ValueError(f"unknown filters: {sorted(unknown)}")
-        for __, record in self._sorted_items():
-            if all(getattr(record, name) == value for name, value in filters.items()):
-                yield record
+        want_dataset = filters.get("dataset")
+        want_error_type = filters.get("error_type")
+        pending_groups = self._pending_by_group()
+        for group in self._groups():
+            if want_dataset is not None and group[0] != want_dataset:
+                continue
+            if want_error_type is not None and group[1] != want_error_type:
+                continue
+            for record in self._iter_group_records(group, pending_groups.get(group)):
+                if all(
+                    getattr(record, name) == value
+                    for name, value in filters.items()
+                ):
+                    yield record
 
     def distinct(self, fieldname: str) -> list[Any]:
-        """Sorted distinct values of a record field."""
-        return sorted({getattr(record, fieldname) for record in self._records.values()})
+        """Sorted distinct values of a record field.
+
+        ``dataset`` and ``error_type`` come straight from the shard
+        index; other fields stream the store.
+        """
+        if fieldname == "dataset":
+            return sorted({group[0] for group in self._groups()})
+        if fieldname == "error_type":
+            return sorted({group[1] for group in self._groups()})
+        return sorted({getattr(record, fieldname) for record in self.iter_records()})

@@ -81,6 +81,45 @@ class Table:
         return Table(Schema(tuple(specs)), converted)
 
     @staticmethod
+    def from_trusted_columns(
+        schema: Schema, columns: Mapping[str, np.ndarray]
+    ) -> "Table":
+        """Build a table adopting the given arrays without copying.
+
+        A zero-copy constructor for transports that already hold
+        columns in canonical form (numeric: 1-d float64; categorical:
+        1-d object arrays of str/None). The arrays are adopted as-is —
+        including read-only views over shared memory — so the caller
+        must hand over ownership and never mutate them afterwards.
+        Only cheap shape/dtype invariants are checked; per-value
+        conversion (the cost this constructor exists to avoid) is the
+        caller's responsibility.
+        """
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema {list(schema.names)}"
+            )
+        lengths = set()
+        for spec in schema.columns:
+            arr = columns[spec.name]
+            expected = (
+                np.float64 if spec.kind is ColumnKind.NUMERIC else np.object_
+            )
+            if not isinstance(arr, np.ndarray) or arr.ndim != 1 or arr.dtype != expected:
+                raise ValueError(
+                    f"column {spec.name!r} must be a 1-d {np.dtype(expected)} "
+                    "array for trusted adoption"
+                )
+            lengths.add(arr.shape[0])
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns, lengths: {sorted(lengths)}")
+        table = Table.__new__(Table)
+        table._schema = schema
+        table._columns = {spec.name: columns[spec.name] for spec in schema.columns}
+        table._n_rows = lengths.pop() if lengths else 0
+        return table
+
+    @staticmethod
     def empty(schema: Schema) -> "Table":
         """Build a zero-row table with the given schema."""
         columns = {

@@ -41,17 +41,34 @@ def chaos_config(**overrides) -> StudyConfig:
     return StudyConfig(**defaults)
 
 
-#: Serial baseline bytes memoized by (config, datasets, error_types).
-_BASELINE_CACHE: dict[tuple, bytes] = {}
+def store_fingerprint(path: Path) -> dict[str, bytes]:
+    """Full on-disk identity of a sharded store.
+
+    Maps the manifest file name and every shard file (relative to the
+    store directory) to its exact bytes. Two stores with equal
+    fingerprints are bit-for-bit interchangeable — the strongest form
+    of the byte-identity guarantee, covering the compressed shard
+    payloads and not just the manifest that checksums them.
+    """
+    fingerprint = {"<manifest>": path.read_bytes()}
+    store_dir = path.parent / f"{path.stem}.store"
+    if store_dir.exists():
+        for shard in sorted(store_dir.glob("*.jsonl.gz")):
+            fingerprint[shard.name] = shard.read_bytes()
+    return fingerprint
 
 
-def serial_baseline_bytes(
+#: Serial baseline fingerprints memoized by (config, datasets, error_types).
+_BASELINE_CACHE: dict[tuple, dict[str, bytes]] = {}
+
+
+def serial_baseline_fingerprint(
     config: StudyConfig,
     datasets: Sequence[str],
     error_types: Sequence[str],
     workdir: Path,
-) -> bytes:
-    """Bytes of a serially-executed, compacted study store."""
+) -> dict[str, bytes]:
+    """Fingerprint of a serially-executed, compacted study store."""
     key = (
         repr(config),
         tuple(datasets),
@@ -65,7 +82,7 @@ def serial_baseline_bytes(
             for dataset in datasets:
                 runner.run_dataset_error(dataset, error_type)
         store.save()
-        _BASELINE_CACHE[key] = path.read_bytes()
+        _BASELINE_CACHE[key] = store_fingerprint(path)
     return _BASELINE_CACHE[key]
 
 
@@ -102,9 +119,9 @@ class ChaosStudy:
             for repetition in range(self.config.n_repetitions)
         ]
 
-    def baseline(self) -> bytes:
-        """Bytes of the serial reference store (memoized per config)."""
-        return serial_baseline_bytes(
+    def baseline(self) -> dict[str, bytes]:
+        """Fingerprint of the serial reference store (memoized per config)."""
+        return serial_baseline_fingerprint(
             self.config, self.datasets, self.error_types, self.root
         )
 
@@ -118,16 +135,21 @@ class ChaosStudy:
         abort_after_units: int | None = None,
         save: bool = True,
         trace: bool = False,
+        backend: str = "process",
+        transport: str = "auto",
     ) -> int:
         """One executor pass over the (possibly partially done) study.
 
         Uses zero backoff so retries don't slow the suite down; all
         other fault-tolerance behaviour is the production code path.
         ``trace`` turns on structured tracing, so tests can assert on
-        observed fault/retry events. Returns the number of records
-        added.
+        observed fault/retry events. ``backend``/``transport`` select
+        the execution backend and dataset transport under test.
+        Returns the number of records added.
         """
         options = ExecutorOptions(
+            backend=backend,
+            transport=transport,
             max_retries=max_retries,
             cell_timeout=cell_timeout,
             fsync_journal=fsync_journal,
@@ -158,12 +180,13 @@ class ChaosStudy:
     def assert_converged(self) -> None:
         """The headline chaos assertion.
 
-        The chaos store must be byte-identical to the serial baseline,
-        report zero integrity violations, and leave no journal shards
-        or failure sidecars behind.
+        The chaos store — manifest *and* every compressed shard — must
+        be byte-identical to the serial baseline, report zero
+        integrity violations, and leave no journal shards or failure
+        sidecars behind.
         """
         assert self.store_path.exists(), "chaos store was never saved"
-        assert self.store_path.read_bytes() == self.baseline(), (
+        assert store_fingerprint(self.store_path) == self.baseline(), (
             "chaos store diverged from the serial baseline"
         )
         store = self.store()

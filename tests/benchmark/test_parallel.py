@@ -331,5 +331,118 @@ def test_parallel_store_payload_is_valid_json(tmp_path):
         config, store, workers=2, datasets=("german",), error_types=("mislabels",)
     )
     payload = json.loads((tmp_path / "study.json").read_text())
-    assert len(payload["records"]) == 1
-    assert payload["records"][0]["repair"] == "flip_labels"
+    assert payload["format"] == "sharded-v1"
+    (shard,) = payload["shards"]
+    assert shard["dataset"] == "german"
+    assert shard["error_type"] == "mislabels"
+    assert shard["records"] == 1 == len(shard["keys"])
+    record = next(ResultStore(tmp_path / "study.json").iter_records())
+    assert record.repair == "flip_labels"
+
+
+# -- backends -----------------------------------------------------------
+
+
+def run_backend(tmp_path, backend, name, error_type="mislabels", **opt_overrides):
+    from repro.benchmark import ExecutorOptions
+
+    config = tiny_config()
+    store = ResultStore(tmp_path / f"{name}.json")
+    run_parallel_study(
+        config,
+        store,
+        workers=2,
+        datasets=("german",),
+        error_types=(error_type,),
+        options=ExecutorOptions(backend=backend, **opt_overrides),
+    )
+    return tmp_path / f"{name}.json"
+
+
+def test_thread_backend_matches_serial_byte_identical(tmp_path):
+    config = tiny_config()
+    run_serial(config, tmp_path / "serial.json", "mislabels")
+    threaded = run_backend(tmp_path, "thread", "threaded")
+    assert threaded.read_bytes() == (tmp_path / "serial.json").read_bytes()
+    for shard in sorted((tmp_path / "serial.store").glob("*.jsonl.gz")):
+        assert (
+            tmp_path / "threaded.store" / shard.name
+        ).read_bytes() == shard.read_bytes()
+    # thread workers journal per thread; everything is compacted away
+    assert list(tmp_path.glob("*.jsonl")) == []
+
+
+def test_serial_backend_matches_process_pool(tmp_path):
+    pooled = run_backend(tmp_path, "process", "pooled")
+    serial = run_backend(tmp_path, "serial", "serialised")
+    assert pooled.read_bytes() == serial.read_bytes()
+
+
+def test_explicit_transports_are_byte_identical(tmp_path):
+    from repro.benchmark import shared_memory_available
+
+    pickled = run_backend(tmp_path, "process", "pickled", transport="pickle")
+    if not shared_memory_available():
+        pytest.skip("shared memory unavailable")
+    shm = run_backend(tmp_path, "process", "shm", transport="shm")
+    assert pickled.read_bytes() == shm.read_bytes()
+
+
+def test_invalid_backend_and_transport_are_rejected():
+    from repro.benchmark import ExecutorOptions
+
+    with pytest.raises(ValueError, match="unknown backend"):
+        ExecutorOptions(backend="fibers")
+    with pytest.raises(ValueError, match="unknown transport"):
+        ExecutorOptions(transport="carrier-pigeon")
+
+
+def test_cell_deadline_falls_back_off_main_thread(tmp_path):
+    """Off the main thread the SIGALRM watchdog degrades to a post-hoc
+    monotonic check: the overrun still fails, and the degradation is
+    counted in the trace."""
+    import threading
+    import time
+
+    from repro import obs
+    from repro.benchmark import CellTimeoutError
+    from repro.benchmark.parallel import _cell_deadline
+
+    trace_path = tmp_path / "trace.jsonl"
+    outcome = {}
+
+    def overrun():
+        try:
+            with _cell_deadline(0.01):
+                time.sleep(0.05)
+        except BaseException as error:  # noqa: BLE001
+            outcome["error"] = error
+
+    with obs.scoped(trace_path):
+        worker = threading.Thread(target=overrun)
+        worker.start()
+        worker.join()
+    assert isinstance(outcome.get("error"), CellTimeoutError)
+    assert "post-hoc" in str(outcome["error"])
+    events = obs.read_trace_events([trace_path])
+    counters = [
+        event
+        for event in events
+        if event.get("kind") == "metric"
+        and event.get("name") == "cell_deadline_fallback"
+    ]
+    assert counters, "fallback must be visible as a warning counter"
+
+
+def test_cell_deadline_on_main_thread_does_not_count_fallback(tmp_path):
+    from repro import obs
+    from repro.benchmark.parallel import _cell_deadline
+
+    trace_path = tmp_path / "trace.jsonl"
+    with obs.scoped(trace_path):
+        with _cell_deadline(5.0):
+            pass
+    events = obs.read_trace_events([trace_path])
+    assert not any(
+        event.get("name") == "cell_deadline_fallback" for event in events
+    )

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.benchmark import JournalWriter, ResultStore, RunRecord
+from repro.benchmark import (
+    JournalWriter,
+    ResultStore,
+    RunRecord,
+    write_legacy_store,
+)
 
 
 def make_record(repetition=0, repair="impute_mean_dummy", metrics=None):
@@ -320,9 +325,8 @@ def test_verify_flags_checksum_mismatch(tmp_path):
 
 def test_verify_flags_duplicate_compacted_keys(tmp_path):
     path = tmp_path / "study.json"
-    store = ResultStore(path)
-    store.add(make_record(repetition=0))
-    store.save()
+    record = make_record(repetition=0)
+    write_legacy_store(path, [record])
     compacted = json.loads(path.read_text())
     compacted["records"].append(compacted["records"][0])
     path.write_text(json.dumps(compacted))

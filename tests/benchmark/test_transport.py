@@ -1,0 +1,142 @@
+"""Unit tests of the shared-memory dataset transport."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark.transport import (
+    ShmRegistry,
+    attach_table,
+    live_segment_names,
+    publish_table,
+    shared_memory_available,
+    unlink_segments,
+)
+from repro.tabular.table import Table
+
+pytestmark = [
+    pytest.mark.shm,
+    pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="POSIX shared memory + fork unavailable",
+    ),
+]
+
+
+def make_table(n_rows=10):
+    rng = np.random.default_rng(0)
+    return Table.from_columns(
+        {
+            "age": rng.normal(40, 10, n_rows),
+            "credit": rng.normal(0, 1, n_rows),
+            "sex": [("male", "female")[i % 2] for i in range(n_rows)],
+            "label": rng.integers(0, 2, n_rows).astype(float),
+        }
+    )
+
+
+def make_table_with_missing():
+    return Table.from_columns(
+        {
+            "x": np.array([1.0, np.nan, 3.0]),
+            "cat": ["a", None, "b"],
+        }
+    )
+
+
+@pytest.mark.shm
+def test_publish_attach_roundtrip_is_equal():
+    table = make_table()
+    ref, segments = publish_table(table)
+    try:
+        attached, handles = attach_table(ref)
+        assert attached == table
+    finally:
+        unlink_segments(segments)
+
+
+@pytest.mark.shm
+def test_missing_values_survive_the_roundtrip():
+    table = make_table_with_missing()
+    ref, segments = publish_table(table)
+    try:
+        attached, handles = attach_table(ref)
+        assert np.isnan(attached._column_view("x")[1])
+        assert attached._column_view("cat")[1] is None
+        assert attached == table
+    finally:
+        unlink_segments(segments)
+
+
+@pytest.mark.shm
+def test_numeric_columns_attach_zero_copy():
+    """Attached numeric columns are views into the segment buffer —
+    no per-column allocation happened."""
+    table = make_table()
+    ref, segments = publish_table(table)
+    try:
+        attached, handles = attach_table(ref)
+        age = attached._column_view("age")
+        assert age.base is not None, "expected a view, got an owning array"
+        assert not age.flags.writeable
+        # all numeric columns share one block (hence one segment)
+        credit = attached._column_view("credit")
+        assert age.base is credit.base
+    finally:
+        unlink_segments(segments)
+
+
+@pytest.mark.shm
+def test_ref_is_small_and_picklable():
+    import pickle
+
+    table = make_table(1000)
+    ref, segments = publish_table(table)
+    try:
+        payload = pickle.dumps(ref)
+        # the whole point: the ref costs O(schema), not O(rows)
+        assert len(payload) < 2000
+        clone = pickle.loads(payload)
+        attached, handles = attach_table(clone)
+        assert attached == table
+    finally:
+        unlink_segments(segments)
+
+
+@pytest.mark.shm
+def test_unlink_segments_is_idempotent():
+    _ref, segments = publish_table(make_table())
+    unlink_segments(segments)
+    unlink_segments(segments)  # second pass swallows FileNotFoundError
+    assert live_segment_names() == frozenset()
+
+
+@pytest.mark.shm
+def test_registry_unlinks_on_last_release():
+    table = make_table()
+    with ShmRegistry() as registry:
+        ref = registry.lease("german", table)
+        same = registry.lease("german", table)
+        assert same is ref, "second lease must reuse the published segments"
+        assert set(ref.segment_names) <= live_segment_names()
+        registry.release("german")
+        assert set(ref.segment_names) <= live_segment_names(), (
+            "segments must survive while a lease is held"
+        )
+        registry.release("german")
+        assert not set(ref.segment_names) & live_segment_names()
+        assert len(registry) == 0
+
+
+@pytest.mark.shm
+def test_registry_close_unlinks_everything_despite_leases():
+    registry = ShmRegistry()
+    ref = registry.lease("german", make_table())
+    registry.lease("german", make_table())  # two leases outstanding
+    registry.close()
+    assert not set(ref.segment_names) & live_segment_names()
+
+
+@pytest.mark.shm
+def test_release_of_unknown_key_is_a_noop():
+    with ShmRegistry() as registry:
+        registry.release("never-leased")

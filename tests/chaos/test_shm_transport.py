@@ -1,0 +1,97 @@
+"""Shared-memory lifecycle under faults.
+
+The transport's contract: no segment this process created outlives a
+study run — not after clean completion, not after worker crashes, not
+after poisoned units, not after a simulated parent kill. Leaked
+``/dev/shm`` segments are the classic failure mode of shm transports
+(they survive process death by design), so every scenario asserts the
+parent's live-segment ledger is empty afterwards.
+"""
+
+import pytest
+
+from repro.benchmark import StudyAborted
+from repro.benchmark.transport import live_segment_names, shared_memory_available
+from repro.testing import Fault, FaultPlan
+
+pytestmark = [
+    pytest.mark.chaos,
+    pytest.mark.shm,
+    pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="POSIX shared memory + fork unavailable",
+    ),
+]
+
+
+def plan_for(kind, repetition=0, attempts=1):
+    return FaultPlan(
+        faults=(
+            Fault(
+                kind=kind,
+                dataset="german",
+                error_type="mislabels",
+                repetition=repetition,
+                at=0,
+                attempts=attempts,
+            ),
+        ),
+        slow_factor=1.5,
+    )
+
+
+def assert_no_leaked_segments():
+    assert live_segment_names() == frozenset(), (
+        f"leaked shared-memory segments: {sorted(live_segment_names())}"
+    )
+
+
+def test_segments_unlinked_after_normal_completion(chaos_study):
+    added = chaos_study.run(workers=2, transport="shm")
+    assert added == 2
+    chaos_study.assert_converged()
+    assert_no_leaked_segments()
+
+
+def test_segments_unlinked_after_worker_crash(chaos_study):
+    """A crashed worker's unit is retried; its dataset segments stay
+    alive for the retry and are unlinked once the unit resolves."""
+    added = chaos_study.run(
+        plan=plan_for("crash_post_append"), workers=2, transport="shm"
+    )
+    assert added == 2
+    chaos_study.assert_converged()
+    assert_no_leaked_segments()
+
+
+def test_segments_unlinked_after_poisoned_unit(chaos_study):
+    """Even a unit that exhausts its retries and is poisoned must
+    release its dataset lease."""
+    plan = plan_for("transient_error", attempts=99)
+    added = chaos_study.run(
+        plan=plan, workers=2, max_retries=1, transport="shm"
+    )
+    assert added == 1  # repetition 1 completed, repetition 0 poisoned
+    assert_no_leaked_segments()
+    # the later clean run heals the poisoned unit, still leak-free
+    assert chaos_study.resume() == 1
+    chaos_study.assert_converged()
+    assert_no_leaked_segments()
+
+
+def test_segments_unlinked_after_parent_abort(chaos_study):
+    """StudyAborted unwinds through the registry's close: the simulated
+    kill must not leave segments behind either."""
+    with pytest.raises(StudyAborted):
+        chaos_study.run(abort_after_units=1, workers=2, transport="shm")
+    assert_no_leaked_segments()
+    chaos_study.resume()
+    chaos_study.assert_converged()
+    assert_no_leaked_segments()
+
+
+def test_shm_transport_is_byte_identical_to_pickle(chaos_study):
+    """Transports must not change a single stored byte."""
+    added = chaos_study.run(workers=2, transport="shm")
+    assert added == 2
+    chaos_study.assert_converged()  # fingerprint vs the serial baseline

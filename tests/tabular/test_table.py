@@ -204,3 +204,28 @@ def test_iter_rows():
 
 def test_repr_mentions_row_count():
     assert "4 rows" in repr(make_table())
+
+
+def test_from_trusted_columns_adopts_without_copy():
+    schema = Schema.of(ColumnSpec.numeric("x"))
+    arr = np.array([1.0, 2.0])
+    table = Table.from_trusted_columns(schema, {"x": arr})
+    assert table._column_view("x") is arr
+    assert table.n_rows == 2
+
+
+def test_from_trusted_columns_rejects_wrong_dtype():
+    schema = Schema.of(ColumnSpec.numeric("x"))
+    with pytest.raises(ValueError, match="trusted adoption"):
+        Table.from_trusted_columns(schema, {"x": np.array([1, 2], dtype=np.int64)})
+
+
+def test_from_trusted_columns_rejects_ragged_and_mismatched():
+    schema = Schema.of(ColumnSpec.numeric("x"), ColumnSpec.categorical("y"))
+    with pytest.raises(ValueError, match="do not match schema"):
+        Table.from_trusted_columns(schema, {"x": np.zeros(2)})
+    with pytest.raises(ValueError, match="ragged"):
+        Table.from_trusted_columns(
+            schema,
+            {"x": np.zeros(2), "y": np.array(["a", "b", "c"], dtype=object)},
+        )

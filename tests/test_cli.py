@@ -245,3 +245,118 @@ def test_study_with_hardening_flags(tmp_path, capsys):
     store = ResultStore(tmp_path / "store.json")
     assert store.verify() == []
     assert not store.failures_path.exists()
+
+
+# -- backends, transports & store migration -----------------------------
+
+
+@pytest.mark.parametrize(
+    "flag,value",
+    [
+        ("--backend", "fibers"),
+        ("--transport", "carrier-pigeon"),
+    ],
+)
+def test_study_rejects_unknown_backend_and_transport(capsys, flag, value):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", "--store", "s.json", flag, value])
+    assert excinfo.value.code == 2
+    assert flag in capsys.readouterr().err
+
+
+def test_study_backend_and_transport_defaults():
+    args = build_parser().parse_args(["study", "--store", "s.json"])
+    assert args.backend == "process"
+    assert args.transport == "auto"
+
+
+def test_study_serial_backend_runs_study(tmp_path, capsys):
+    store = tmp_path / "study.json"
+    code = main(
+        [
+            "study",
+            "--store",
+            str(store),
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "120",
+            "--repetitions",
+            "1",
+            "--backend",
+            "serial",
+        ]
+    )
+    assert code == 0
+    assert "added" in capsys.readouterr().out
+    assert store.exists()
+
+
+def test_store_migrate_requires_store_argument(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["store-migrate"])
+    assert excinfo.value.code == 2
+    assert "store" in capsys.readouterr().err
+
+
+def test_store_migrate_missing_file(tmp_path, capsys):
+    assert main(["store-migrate", str(tmp_path / "nope.json")]) == 1
+    assert "no store" in capsys.readouterr().out
+
+
+def test_store_migrate_legacy_roundtrip(tmp_path, capsys):
+    from repro.benchmark import ResultStore, RunRecord, write_legacy_store
+
+    path = tmp_path / "study.json"
+    write_legacy_store(
+        path,
+        [
+            RunRecord(
+                dataset="german",
+                error_type="mislabels",
+                detection="cleanlab",
+                repair="flip_labels",
+                model="log_reg",
+                repetition=0,
+                tuning_seed=0,
+                metrics={"dirty_test_acc": 0.5},
+            )
+        ],
+    )
+    assert main(["store-migrate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "migrated legacy store" in out
+    assert (tmp_path / "study.store").exists()
+    migrated = ResultStore(path)
+    assert not migrated.is_legacy
+    assert len(migrated) == 1 and migrated.verify() == []
+    # idempotent: a second invocation is a clean no-op
+    assert main(["store-migrate", str(path)]) == 0
+    assert "nothing to migrate" in capsys.readouterr().out
+
+
+def test_store_migrate_refuses_corrupt_store_unless_no_verify(tmp_path, capsys):
+    from repro.benchmark import RunRecord, write_legacy_store
+
+    path = tmp_path / "study.json"
+    record = RunRecord(
+        dataset="german",
+        error_type="mislabels",
+        detection="cleanlab",
+        repair="flip_labels",
+        model="log_reg",
+        repetition=0,
+        tuning_seed=0,
+        metrics={"dirty_test_acc": 0.5},
+    )
+    write_legacy_store(path, [record])
+    import json as json_module
+
+    payload = json_module.loads(path.read_text())
+    payload["records"][0]["metrics"]["dirty_test_acc"] = 0.99  # bit rot
+    path.write_text(json_module.dumps(payload))
+    assert main(["store-migrate", str(path)]) == 1
+    assert "not migrating" in capsys.readouterr().out
+    assert main(["store-migrate", str(path), "--no-verify"]) == 0
