@@ -1,0 +1,124 @@
+"""Cold-vs-incremental cell throughput, per model and error type.
+
+For every (model, error type) pair, runs the same small german study
+slice twice through the serial executor — once with
+``StudyConfig.incremental`` off (every cell is a cold refit) and once
+with the reuse scope on — and appends to ``BENCH_incremental.json``
+at the repo root:
+
+- cells (records) per second for both runs and their speedup,
+- the reuse-hit/miss counters and ``cells_warm_started`` from the
+  warm run's trace (the same numbers ``obs-report`` renders),
+- a byte-identity check: the warm store must match the cold store's
+  manifest and shards bit for bit (the incremental contract).
+
+The headline assertion: at least one model must clear a 1.5x cell
+throughput gain on a repaired slice. The biggest winner is
+``missing_values`` — imputation variants whose numeric columns have
+no missing cells repair to byte-identical tables, so whole tuned
+evaluations are served from the content-addressed memo.
+
+Run with ``pytest benchmarks/bench_incremental.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import StudyConfig
+from repro.benchmark import ExecutorOptions, ResultStore, run_parallel_study
+from repro.testing.fixtures import store_fingerprint
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_incremental.json"
+
+MODELS = ("log_reg", "knn", "xgboost")
+ERROR_TYPES = ("missing_values", "outliers", "mislabels")
+
+N_SAMPLE = 300
+N_REPETITIONS = 1
+DATASET_SIZES = {"german": 600}
+
+
+def _config(model: str, incremental: bool) -> StudyConfig:
+    return StudyConfig(
+        n_sample=N_SAMPLE,
+        n_repetitions=N_REPETITIONS,
+        models=(model,),
+        dataset_sizes=dict(DATASET_SIZES),
+        incremental=incremental,
+    )
+
+
+def _run_slice(directory: Path, model: str, error_type: str, incremental: bool):
+    """One serial study slice; returns (store, records, wall seconds)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    store = ResultStore(directory / "study.json")
+    options = ExecutorOptions(backend="serial", trace=incremental)
+    start = time.perf_counter()
+    added = run_parallel_study(
+        _config(model, incremental),
+        store,
+        workers=1,
+        datasets=("german",),
+        error_types=(error_type,),
+        options=options,
+    )
+    return store, added, time.perf_counter() - start
+
+
+def test_incremental_cell_throughput(tmp_path):
+    results: dict[str, dict] = {}
+    best_speedup = 0.0
+    run_index = 0
+    for model in MODELS:
+        per_error: dict[str, dict] = {}
+        for error_type in ERROR_TYPES:
+            cold_dir = tmp_path / f"run{run_index}-cold"
+            warm_dir = tmp_path / f"run{run_index}-warm"
+            run_index += 1
+            cold_store, cold_added, cold_s = _run_slice(
+                cold_dir, model, error_type, incremental=False
+            )
+            warm_store, warm_added, warm_s = _run_slice(
+                warm_dir, model, error_type, incremental=True
+            )
+            assert cold_added == warm_added > 0
+            assert store_fingerprint(cold_dir / "study.json") == store_fingerprint(
+                warm_dir / "study.json"
+            ), f"{model}/{error_type}: incremental store diverged from cold"
+            health = warm_store.health()
+            speedup = cold_s / warm_s
+            best_speedup = max(best_speedup, speedup)
+            per_error[error_type] = {
+                "cells": cold_added,
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "cold_cells_per_s": cold_added / cold_s,
+                "warm_cells_per_s": warm_added / warm_s,
+                "speedup": speedup,
+                "cells_warm_started": health.cells_warm_started,
+                "reuse": health.reuse,
+            }
+        results[model] = per_error
+    payload = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    payload.update(
+        {
+            "cpu_count": os.cpu_count(),
+            "config": {
+                "dataset": "german",
+                "n_sample": N_SAMPLE,
+                "n_repetitions": N_REPETITIONS,
+                "error_types": list(ERROR_TYPES),
+            },
+            "models": results,
+            "best_speedup": best_speedup,
+        }
+    )
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    assert best_speedup >= 1.5, (
+        f"expected >=1.5x cell throughput for at least one model on a "
+        f"repaired slice, best was {best_speedup:.2f}x"
+    )

@@ -7,8 +7,8 @@ Measures, and appends to ``BENCH_runner.json`` at the repo root:
 - the wall clock of a small full study (german, all three error
   types) swept over ``workers`` 1→N for every executor backend
   (serial / process / thread), with the peak RSS observed after each
-  backend's sweep and a cross-backend byte-identity check of the
-  resulting stores;
+  (backend, workers) point and a cross-backend byte-identity check of
+  the resulting stores;
 - the dataset *ship time* for one study round on a 2-worker pool
   under the pickle transport (the table is serialised into every
   task and deserialised in every worker) versus the shared-memory
@@ -150,14 +150,15 @@ def test_backend_worker_sweep(tmp_path):
             point = {"wall_s": elapsed}
             if serial_s is not None:
                 point["speedup_vs_serial"] = serial_s / elapsed
+            # per (backend, workers); ru_maxrss is a process-lifetime
+            # high-water mark, so within a sweep the value is monotone —
+            # a point can only show growth caused at or before it
+            point["peak_rss_kb"] = _peak_rss_kb()
             points[str(workers)] = point
             fingerprints.setdefault(
                 backend, store_fingerprint(directory / "study.json")
             )
-        sweeps[backend] = {
-            "workers": points,
-            "peak_rss_kb": _peak_rss_kb(),
-        }
+        sweeps[backend] = {"workers": points}
     byte_identical = (
         fingerprints["serial"]
         == fingerprints["process"]

@@ -98,6 +98,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         n_repetitions=args.repetitions,
         n_tuning_seeds=args.tuning_seeds,
         workers=args.workers,
+        incremental=args.incremental,
     )
     store = ResultStore(args.store)
     names = [args.dataset] if args.dataset else list(DATASET_NAMES)
@@ -322,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync-journal",
         action="store_true",
         help="fsync every journal append (durable against power loss)",
+    )
+    study.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse computation across a repetition's cleaned versions "
+        "(delta-patched featurisation, shared kNN/booster structures, "
+        "warm logistic starts); results are byte-identical either way — "
+        "--no-incremental forces every cell to a cold refit",
     )
     study.add_argument(
         "--trace",

@@ -41,6 +41,17 @@ class StudyConfig:
             fold instead of one cold fit per candidate). Selected
             hyperparameters and study records are byte-identical
             either way; ``False`` forces the naive loop.
+        incremental: Reuse computation across the cleaned versions of
+            a repetition through :mod:`repro.ml.incremental`: row-delta
+            manifests pick each repaired version's cheapest parent,
+            featurisation patches the parent's one-hot block, and the
+            estimators share content-addressed structures (kNN
+            distances, booster presorts, warm logistic starts) plus
+            whole tuned-model evaluations when inputs coincide byte
+            for byte. Every reuse path is byte-identical to the cold
+            refit or declines and falls back, so stores match a cold
+            run bit for bit; ``False`` (the ``--no-incremental``
+            escape hatch) disables the scope entirely.
     """
 
     n_sample: int = 1_000
@@ -62,6 +73,7 @@ class StudyConfig:
     models: tuple[str, ...] = ("log_reg", "knn", "xgboost")
     workers: int = 1
     grid_fast_path: bool = True
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.n_sample < 10:

@@ -66,7 +66,7 @@ from repro.fairness.confusion import (
     group_masks,
     result_store_keys,
 )
-from repro.ml import TabularFeaturizer
+from repro.ml import TabularFeaturizer, incremental
 from repro.ml.metrics import accuracy_score, f1_score
 from repro.tabular import Table, train_test_split_table
 
@@ -92,6 +92,13 @@ class _Version:
     model × tuning-seed cell of the repetition (previously the dirty
     version alone was re-featurised ``len(models) × n_tuning_seeds``
     times per repetition).
+
+    ``artifacts`` keeps the featurisation's block structure (the same
+    matrices as ``features`` plus the fitted encoder/scaler and the
+    numeric/one-hot column split) so a child version can patch it;
+    ``delta`` is the row-delta manifest against the selected parent
+    version, linked by :meth:`ExperimentRunner._link_deltas` when
+    :attr:`StudyConfig.incremental` is on.
     """
 
     name: str
@@ -104,6 +111,12 @@ class _Version:
         default=None, repr=False, compare=False
     )
     masks: list[GroupMasks] | None = field(default=None, repr=False, compare=False)
+    artifacts: "incremental.FeatureArtifacts | None" = field(
+        default=None, repr=False, compare=False
+    )
+    delta: "incremental.VersionDelta | None" = field(
+        default=None, repr=False, compare=False
+    )
 
 
 class ExperimentRunner:
@@ -210,31 +223,42 @@ class ExperimentRunner:
                 versions = self._prepare_versions(
                     definition, table, error_type, repetition
                 )
+                if versions is not None and self.config.incremental:
+                    self._link_deltas(versions[0], versions[1])
             if versions is None:
                 return 0
             dirty, repaired_versions = versions
+            scope = incremental.ReuseScope() if self.config.incremental else None
+            scope_guard = (
+                incremental.reuse_scope(scope) if scope is not None else nullcontext()
+            )
             added = 0
-            for index, (model_name, seed) in enumerate(cells):
-                guard = (
-                    nullcontext()
-                    if cell_guard is None
-                    else cell_guard(index, model_name, seed)
-                )
-                with guard, obs.span(
-                    "cell", model=model_name, seed=seed, **coords
-                ) as cell_span:
-                    cell_added = self._evaluate_model(
-                        definition,
-                        error_type,
-                        dirty,
-                        repaired_versions,
-                        model_name,
-                        repetition,
-                        seed,
-                        progress,
+            with scope_guard:
+                for index, (model_name, seed) in enumerate(cells):
+                    guard = (
+                        nullcontext()
+                        if cell_guard is None
+                        else cell_guard(index, model_name, seed)
                     )
-                    cell_span.add("records", cell_added)
-                    added += cell_added
+                    with guard, obs.span(
+                        "cell", model=model_name, seed=seed, **coords
+                    ) as cell_span:
+                        hits_before = scope.hits() if scope is not None else 0
+                        cell_added = self._evaluate_model(
+                            definition,
+                            error_type,
+                            dirty,
+                            repaired_versions,
+                            model_name,
+                            repetition,
+                            seed,
+                            progress,
+                        )
+                        cell_span.add("records", cell_added)
+                        if scope is not None and scope.hits() > hits_before:
+                            cell_span.set(warm_started=True)
+                            obs.counter("cells_warm_started")
+                        added += cell_added
         return added
 
     def run_full_study(self, progress=None, workers: int | None = None) -> int:
@@ -422,6 +446,37 @@ class ExperimentRunner:
         )
         return dirty, [repaired]
 
+    def _link_deltas(self, dirty: _Version, repaired: list[_Version]) -> None:
+        """Attach a row-delta manifest to each repaired version.
+
+        Parent candidates are the dirty version and every earlier
+        repaired version of the same repetition; the parent with the
+        cheapest delta (fewest changed cells, categorical train
+        changes penalised) wins. Versions with no aligned candidate —
+        e.g. every repair of a missing-values split, whose dirty
+        baseline dropped incomplete train tuples — keep ``delta=None``
+        and take the cold paths.
+        """
+        candidates = [dirty]
+        for version in repaired:
+            best: incremental.VersionDelta | None = None
+            for parent in candidates:
+                delta = incremental.version_delta(
+                    parent.train,
+                    parent.train_labels,
+                    parent.test,
+                    version.train,
+                    version.train_labels,
+                    version.test,
+                    parent=parent,
+                )
+                if delta is None:
+                    continue
+                if best is None or delta.cost < best.cost:
+                    best = delta
+            version.delta = best
+            candidates.append(version)
+
     # -- model evaluation ---------------------------------------------------
 
     def _features_for(
@@ -431,13 +486,29 @@ class ExperimentRunner:
         if version.features is None:
             obs.counter("cache_miss", cache="featurizer")
             with obs.span("featurize", version=version.name):
-                featurizer = TabularFeaturizer(
-                    feature_columns=definition.feature_columns(version.train)
-                ).fit(version.train)
-                version.features = (
-                    featurizer.transform(version.train),
-                    featurizer.transform(version.test),
-                )
+                feature_columns = definition.feature_columns(version.train)
+                artifacts = None
+                scope = incremental.active()
+                delta = version.delta
+                if (
+                    scope is not None
+                    and delta is not None
+                    and delta.parent.artifacts is not None
+                ):
+                    artifacts = incremental.incremental_featurize(
+                        feature_columns,
+                        delta.parent.artifacts,
+                        delta,
+                        version.train,
+                        version.test,
+                    )
+                    scope.record("featurize", hit=artifacts is not None)
+                if artifacts is None:
+                    artifacts = incremental.featurize_version(
+                        feature_columns, version.train, version.test
+                    )
+                version.artifacts = artifacts
+                version.features = (artifacts.X_train, artifacts.X_test)
         else:
             obs.counter("cache_hit", cache="featurizer")
         return version.features
@@ -452,10 +523,37 @@ class ExperimentRunner:
                 specs = list(definition.group_specs) + list(
                     definition.intersectional_specs
                 )
+                scope = incremental.active()
+                delta = version.delta
+                if (
+                    scope is not None
+                    and delta is not None
+                    and delta.parent.masks is not None
+                ):
+                    if incremental.masks_reusable(
+                        self._spec_columns(definition), delta.test
+                    ):
+                        # masks are a pure function of the sensitive test
+                        # columns, which the manifest shows unchanged
+                        scope.record("masks", hit=True)
+                        version.masks = delta.parent.masks
+                        return version.masks
+                    scope.record("masks", hit=False)
                 version.masks = group_masks(version.test, specs)
         else:
             obs.counter("cache_hit", cache="masks")
         return version.masks
+
+    @staticmethod
+    def _spec_columns(definition: DatasetDefinition) -> tuple[str, ...]:
+        """Test-table columns the group specs read."""
+        columns: list[str] = []
+        for spec in definition.group_specs:
+            columns.append(spec.privileged.attribute)
+        for spec in definition.intersectional_specs:
+            columns.append(spec.first.privileged.attribute)
+            columns.append(spec.second.privileged.attribute)
+        return tuple(dict.fromkeys(columns))
 
     def _score_version(
         self,
@@ -466,28 +564,44 @@ class ExperimentRunner:
         technique: str,
     ) -> dict[str, object]:
         X_train, X_test = self._features_for(definition, version)
-        search = model_search(
-            model_name,
-            n_cv_folds=self.config.n_cv_folds,
-            tuning_seed=_seed_for("tune", model_name, tuning_seed),
-            fast_path=self.config.grid_fast_path,
-        )
-        search.fit(X_train, version.train_labels)
-        with obs.span("score", model=model_name, technique=technique):
-            predictions = search.predict(X_test)
-            metrics: dict[str, object] = {
-                f"{technique}_best_params": search.best_params_,
-                f"{technique}_val_acc": search.best_score_,
-                f"{technique}_test_acc": accuracy_score(
-                    version.test_labels, predictions
-                ),
-                f"{technique}_test_f1": f1_score(version.test_labels, predictions),
-            }
-            groups = group_confusions_from_masks(
-                version.test_labels, predictions, self._masks_for(definition, version)
+        seed = _seed_for("tune", model_name, tuning_seed)
+
+        def tune_and_predict() -> tuple[dict, float, np.ndarray]:
+            search = model_search(
+                model_name,
+                n_cv_folds=self.config.n_cv_folds,
+                tuning_seed=seed,
+                fast_path=self.config.grid_fast_path,
             )
-            for group in groups:
-                metrics.update(result_store_keys(technique, group))
+            search.fit(X_train, version.train_labels)
+            with obs.span("score", model=model_name, technique=technique):
+                predictions = search.predict(X_test)
+            return dict(search.best_params_), float(search.best_score_), predictions
+
+        scope = incremental.active()
+        if scope is not None:
+            # the whole tuned evaluation is deterministic in its seed and
+            # its input bytes: a repair that turns out to be a no-op (or
+            # to coincide with an earlier version) reuses everything
+            best_params, val_acc, predictions = scope.memo(
+                "model_eval",
+                (X_train, version.train_labels, X_test, version.test_labels),
+                (model_name, seed, self.config.n_cv_folds, self.config.grid_fast_path),
+                tune_and_predict,
+            )
+        else:
+            best_params, val_acc, predictions = tune_and_predict()
+        metrics: dict[str, object] = {
+            f"{technique}_best_params": dict(best_params),
+            f"{technique}_val_acc": val_acc,
+            f"{technique}_test_acc": accuracy_score(version.test_labels, predictions),
+            f"{technique}_test_f1": f1_score(version.test_labels, predictions),
+        }
+        groups = group_confusions_from_masks(
+            version.test_labels, predictions, self._masks_for(definition, version)
+        )
+        for group in groups:
+            metrics.update(result_store_keys(technique, group))
         return metrics
 
     def _evaluate_model(

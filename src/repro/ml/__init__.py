@@ -26,7 +26,7 @@ from repro.ml.model_selection import (
     train_test_split,
 )
 from repro.ml.fair_search import FairnessConstrainedSearch
-from repro.ml import metrics
+from repro.ml import incremental, metrics
 
 __all__ = [
     "BaseClassifier",

@@ -13,9 +13,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.ml import incremental
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.logistic import _sigmoid
-from repro.ml.tree import _GradientTree
+from repro.ml.tree import _GradientTree, presort_orders
 
 
 class GradientBoostedTreesClassifier(BaseClassifier):
@@ -91,6 +92,17 @@ class GradientBoostedTreesClassifier(BaseClassifier):
             np.full(X_eval.shape[0], self._base_logit) if X_eval is not None else None
         )
         snapshots: dict[int, np.ndarray] = {}
+        scope = incremental.active()
+        shared_orders: "list[np.ndarray] | None" = None
+        if scope is not None and self.subsample == 1.0:
+            # without subsampling every round's tree sorts the same X:
+            # the presort is a pure function of its bytes, so one
+            # computation serves all rounds — and, via the scope memo,
+            # every other fit on a byte-equal matrix (other grid shape
+            # groups on the same fold, other versions sharing features)
+            shared_orders = scope.memo(
+                "tree_presort", (X,), (), lambda: presort_orders(X)
+            )
         self._trees = []
         for round_index in range(n_rounds):
             p = _sigmoid(logits)
@@ -106,7 +118,14 @@ class GradientBoostedTreesClassifier(BaseClassifier):
                 lam=self.reg_lambda,
                 min_child_weight=self.min_child_weight,
                 min_split_gain=0.0,
-            ).fit(X[rows], gradients[rows], hessians[rows])
+            )
+            if shared_orders is not None:
+                # rows is arange here: X[rows] would be a byte-equal
+                # copy of X, so fitting on X with the shared presort is
+                # bit-identical while skipping the copy and the sorts
+                tree.fit(X, gradients, hessians, orders=shared_orders)
+            else:
+                tree.fit(X[rows], gradients[rows], hessians[rows])
             update = tree.predict(X)
             logits = logits + self.learning_rate * update
             self._trees.append(tree)

@@ -15,7 +15,11 @@ from typing import Any
 import numpy as np
 from scipy import optimize
 
+from repro.ml import incremental
 from repro.ml.base import BaseClassifier, clone, split_single_parameter_grid
+
+#: Safety factor on the warm-start logit error band (see ``fit``).
+_WARM_GUARD_SAFETY = 8.0
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -44,6 +48,9 @@ class LogisticRegressionClassifier(BaseClassifier):
         self.tol = tol
         self.coef_: np.ndarray | None = None
         self.intercept_: float = 0.0
+        # (fit X, fit y as float, logit error-band coefficient) while a
+        # warm-started solution awaits its prediction-time identity guard
+        self._warm_pending: tuple[np.ndarray, np.ndarray, float] | None = None
 
     def _solve(self, X: np.ndarray, y_float: np.ndarray, theta0: np.ndarray) -> np.ndarray:
         """Minimise the penalised NLL from ``theta0`` via L-BFGS-B."""
@@ -73,9 +80,46 @@ class LogisticRegressionClassifier(BaseClassifier):
         return result.x
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        """Fit from zeros — or warm-start inside an incremental scope.
+
+        When a :mod:`repro.ml.incremental` scope is active and holds a
+        converged solution of matching dimension and ``C`` (typically
+        the parent dataset version's refit), L-BFGS starts there
+        instead of at zeros. Warm and cold runs both stop within the
+        ``gtol`` band of the optimum, so their parameter gap is
+        bounded by strong convexity (the L2 penalty gives curvature
+        ≥ 1/C): ``||Δθ|| ≤ 2·√(d+1)·tol·C``, times a safety factor
+        for the unpenalised intercept direction. Predictions can only
+        differ from a cold fit if a test logit falls inside that band
+        — :meth:`decision_function` checks exactly that and re-solves
+        from zeros when any logit is too close to the boundary, so
+        *returned predictions* are always identical to the cold fit's.
+        """
         X, y = self._check_fit_inputs(X, y)
         n_features = X.shape[1]
-        theta = self._solve(X, y.astype(np.float64), np.zeros(n_features + 1))
+        y_float = y.astype(np.float64)
+        self._warm_pending = None
+        scope = incremental.active()
+        warm = None
+        if scope is not None:
+            warm = scope.warm_get(("logreg", n_features, self.C))
+        if warm is not None:
+            theta = self._solve(X, y_float, warm.copy())
+            band = (
+                _WARM_GUARD_SAFETY
+                * 2.0
+                * np.sqrt(n_features + 1.0)
+                * self.tol
+                * self.C
+            )
+            self._warm_pending = (X, y_float, float(band))
+            scope.record("logreg_warm", hit=True)
+        else:
+            theta = self._solve(X, y_float, np.zeros(n_features + 1))
+            if scope is not None:
+                scope.record("logreg_warm", hit=False)
+        if scope is not None:
+            scope.warm_put(("logreg", n_features, self.C), theta.copy())
         self.coef_ = theta[:n_features]
         self.intercept_ = float(theta[n_features])
         return self
@@ -126,11 +170,36 @@ class LogisticRegressionClassifier(BaseClassifier):
         return predictions
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Raw logits."""
+        """Raw logits, with the warm-start identity guard.
+
+        While a warm-started solution is pending, every logit is
+        checked against the analytic warm-vs-cold error band scaled by
+        its row norm; if any logit could plausibly sit on the other
+        side of zero under a cold fit, the model re-solves from zeros
+        (the byte-identity fallback) before answering.
+        """
         if self.coef_ is None:
             raise RuntimeError("LogisticRegressionClassifier is not fitted")
         X = self._check_predict_inputs(X)
-        return X @ self.coef_ + self.intercept_
+        logits = X @ self.coef_ + self.intercept_
+        pending = self._warm_pending
+        if pending is not None:
+            fit_X, fit_y, band = pending
+            margins = band * (np.sqrt(np.sum(X * X, axis=1)) + 1.0)
+            scope = incremental.active()
+            if np.any(np.abs(logits) <= margins):
+                n_features = fit_X.shape[1]
+                theta = self._solve(fit_X, fit_y, np.zeros(n_features + 1))
+                self.coef_ = theta[:n_features]
+                self.intercept_ = float(theta[n_features])
+                self._warm_pending = None
+                if scope is not None:
+                    scope.record("logreg_warm_guard", hit=False)
+                    scope.warm_put(("logreg", n_features, self.C), theta.copy())
+                logits = X @ self.coef_ + self.intercept_
+            elif scope is not None:
+                scope.record("logreg_warm_guard", hit=True)
+        return logits
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         p = _sigmoid(self.decision_function(X))

@@ -29,6 +29,18 @@ import numpy as np
 from repro.ml.base import BaseEstimator
 
 
+def presort_orders(X: np.ndarray) -> "list[np.ndarray]":
+    """Per-column stable sort orders of ``X`` — the root presort.
+
+    Deterministic (mergesort) and a pure function of ``X``'s bytes,
+    which is what makes the orders shareable across trees, grid
+    candidates and dataset versions with byte-equal matrices.
+    """
+    return [
+        np.argsort(X[:, feature], kind="mergesort") for feature in range(X.shape[1])
+    ]
+
+
 @dataclass
 class _Node:
     """A tree node; leaves have ``feature`` = -1."""
@@ -185,13 +197,23 @@ class _GradientTree:
         self._root: _Node | None = None
 
     def fit(
-        self, X: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+        self,
+        X: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        orders: "list[np.ndarray] | None" = None,
     ) -> "_GradientTree":
+        """Fit the tree; ``orders`` optionally supplies the root presort.
+
+        The presort is a pure function of ``X`` (stable argsort per
+        column), so a caller fitting many trees on the same matrix —
+        the boosting loop — may compute it once and pass it in. The
+        lists are only read here (each node materialises filtered
+        copies), never mutated.
+        """
         rows = np.arange(X.shape[0])
-        orders = [
-            np.argsort(X[:, feature], kind="mergesort")
-            for feature in range(X.shape[1])
-        ]
+        if orders is None:
+            orders = presort_orders(X)
         self._root = _build(
             X,
             gradients,

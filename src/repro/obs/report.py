@@ -85,6 +85,12 @@ class RunHealth:
         tuning: Grid-search totals: fit/score seconds and the
             fast-path vs naive dispatch counts.
         cache: Per cache name: ``{"hits", "misses", "hit_rate"}``.
+        reuse: Per incremental-reuse kind (``featurize``, ``masks``,
+            ``knn_distances``, ``tree_presort``, ``logreg_warm``,
+            ``model_eval``, ...): ``{"hits", "misses", "hit_rate"}``.
+        cells_warm_started: Cells in which at least one incremental
+            reuse hit fired (also available as the ``warm_started``
+            attribute on ``cell`` spans).
         retries / recovered / poisoned / timeouts: Executor
             fault-tolerance tally (``recovered`` counts failed units
             fully reconstructed from their journal shard, no retry).
@@ -103,6 +109,8 @@ class RunHealth:
     slowest_cells: list[dict[str, Any]] = field(default_factory=list)
     tuning: dict[str, float] = field(default_factory=dict)
     cache: dict[str, dict[str, float]] = field(default_factory=dict)
+    reuse: dict[str, dict[str, float]] = field(default_factory=dict)
+    cells_warm_started: int = 0
     retries: int = 0
     recovered: int = 0
     poisoned: int = 0
@@ -123,6 +131,8 @@ class RunHealth:
             "slowest_cells": self.slowest_cells,
             "tuning": self.tuning,
             "cache": self.cache,
+            "reuse": self.reuse,
+            "cells_warm_started": self.cells_warm_started,
             "retries": self.retries,
             "recovered": self.recovered,
             "poisoned": self.poisoned,
@@ -173,9 +183,24 @@ def build_health(
                 str(labels.get("cache", "?")), {"hits": 0.0, "misses": 0.0}
             )
             cache["misses"] += snapshot["value"]
+        elif name == "reuse_hit":
+            reuse = health.reuse.setdefault(
+                str(labels.get("kind", "?")), {"hits": 0.0, "misses": 0.0}
+            )
+            reuse["hits"] += snapshot["value"]
+        elif name == "reuse_miss":
+            reuse = health.reuse.setdefault(
+                str(labels.get("kind", "?")), {"hits": 0.0, "misses": 0.0}
+            )
+            reuse["misses"] += snapshot["value"]
+        elif name == "cells_warm_started":
+            health.cells_warm_started += int(snapshot["value"])
     for cache in health.cache.values():
         total = cache["hits"] + cache["misses"]
         cache["hit_rate"] = cache["hits"] / total if total else float("nan")
+    for reuse in health.reuse.values():
+        total = reuse["hits"] + reuse["misses"]
+        reuse["hit_rate"] = reuse["hits"] / total if total else float("nan")
     health.poisoned += len(health.failures)
     health.slowest_cells = sorted(
         cells, key=lambda cell: -cell["seconds"]
@@ -365,6 +390,21 @@ def render_health_report(health: RunHealth, top: int = 10) -> str:
             for name, stats in sorted(health.cache.items())
         ]
         lines += _table(("cache", "hits", "misses", "hit rate"), rows)
+    if health.reuse:
+        lines += [
+            "",
+            f"Incremental reuse (cells warm-started: {health.cells_warm_started})",
+        ]
+        rows = [
+            (
+                kind,
+                str(int(stats["hits"])),
+                str(int(stats["misses"])),
+                f"{stats['hit_rate'] * 100.0:.1f}%",
+            )
+            for kind, stats in sorted(health.reuse.items())
+        ]
+        lines += _table(("reuse kind", "hits", "misses", "hit rate"), rows)
     if health.slowest_cells:
         lines += ["", f"Slowest cells (top {top})"]
         rows = [

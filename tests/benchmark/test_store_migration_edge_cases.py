@@ -1,0 +1,168 @@
+"""Edge cases of store migration: the awkward on-disk states a real
+deployment can leave behind.
+
+Three families, per the migration contract:
+
+- a legacy seed-era ``study.json`` with *zero* records (written before
+  any repetition completed) must migrate to a clean empty sharded
+  store,
+- a journal shard with a torn trailing line (writer killed mid-append)
+  must migrate losslessly — complete lines recovered, the torn tail
+  skipped, and :meth:`ResultStore.verify` clean before and after,
+- duplicate cell coordinates (the same record key persisted twice)
+  must be flagged by ``verify`` so ``store-migrate`` refuses, while
+  ``--no-verify`` still converges to a deduplicated, verifiable store.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.benchmark import ResultStore, RunRecord, write_legacy_store
+
+
+def make_record(repetition=0, accuracy=0.5):
+    return RunRecord(
+        dataset="german",
+        error_type="mislabels",
+        detection="cleanlab",
+        repair="flip_labels",
+        model="log_reg",
+        repetition=repetition,
+        tuning_seed=0,
+        metrics={"dirty_test_acc": accuracy},
+    )
+
+
+def journal_line(record):
+    from repro.benchmark.results import record_checksum
+
+    payload = record.to_json()
+    payload["checksum"] = record_checksum(payload)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- legacy zero-record stores --------------------------------------------
+
+
+def test_migrate_zero_record_legacy_store(tmp_path, capsys):
+    path = tmp_path / "study.json"
+    write_legacy_store(path, [])
+    store = ResultStore(path)
+    assert store.is_legacy and len(store) == 0
+    assert store.verify() == []
+    assert main(["store-migrate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "migrated legacy store" in out
+    assert "(0 records, 0 shard(s))" in out
+    migrated = ResultStore(path)
+    assert not migrated.is_legacy
+    assert len(migrated) == 0
+    assert migrated.verify() == []
+    # idempotent: nothing left to migrate
+    assert main(["store-migrate", str(path)]) == 0
+    assert "nothing to migrate" in capsys.readouterr().out
+
+
+# -- torn journal tails ---------------------------------------------------
+
+
+def test_migrate_recovers_journal_with_torn_tail(tmp_path, capsys):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    journaled = make_record(repetition=1)
+    shard = tmp_path / "study.w1.jsonl"
+    shard.write_text(
+        journal_line(journaled) + "\n" + '{"dataset": "german", "error_t'
+    )
+    # the torn trailing line is tolerated by verify (it is exactly what
+    # a killed writer leaves) and skipped at replay
+    assert ResultStore(path).verify() == []
+    assert main(["store-migrate", str(path)]) == 0
+    assert "migrated journal shards" in capsys.readouterr().out
+    assert not shard.exists()
+    migrated = ResultStore(path)
+    assert len(migrated) == 2
+    assert journaled.key in migrated
+    assert migrated.verify() == []
+    assert migrated.journal_paths() == []
+
+
+def test_verify_flags_undecodable_line_that_is_not_the_tail(tmp_path):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    shard = tmp_path / "study.w1.jsonl"
+    shard.write_text(
+        "not json at all\n" + journal_line(make_record(repetition=1)) + "\n"
+    )
+    violations = ResultStore(path).verify()
+    assert any("undecodable journal line" in issue for issue in violations)
+
+
+def test_migrate_refuses_checksum_tampered_journal(tmp_path, capsys):
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    store.add(make_record(repetition=0))
+    store.save()
+    payload = json.loads(journal_line(make_record(repetition=1)))
+    payload["metrics"]["dirty_test_acc"] = 0.99  # bit rot after checksum
+    (tmp_path / "study.w1.jsonl").write_text(json.dumps(payload) + "\n")
+    assert main(["store-migrate", str(path)]) == 1
+    assert "not migrating" in capsys.readouterr().out
+
+
+# -- duplicate cell coordinates -------------------------------------------
+
+
+def test_migrate_refuses_duplicate_cell_coordinates(tmp_path, capsys):
+    path = tmp_path / "study.json"
+    record = make_record()
+    write_legacy_store(path, [record])
+    payload = json.loads(path.read_text())
+    payload["records"].append(payload["records"][0])  # identical duplicate
+    path.write_text(json.dumps(payload, indent=1))
+    violations = ResultStore(path).verify()
+    assert any("duplicate key" in issue for issue in violations)
+    assert main(["store-migrate", str(path)]) == 1
+    assert "duplicate key" in capsys.readouterr().out
+    # --no-verify converges: dict-keyed load dedupes, the migrated
+    # store verifies clean and holds the record once
+    assert main(["store-migrate", str(path), "--no-verify"]) == 0
+    migrated = ResultStore(path)
+    assert len(migrated) == 1
+    assert migrated.verify() == []
+
+
+def test_verify_flags_conflicting_payloads_for_one_cell(tmp_path):
+    path = tmp_path / "study.json"
+    write_legacy_store(path, [make_record(accuracy=0.5)])
+    payload = json.loads(path.read_text())
+    conflicting = json.loads(journal_line(make_record(accuracy=0.7)))
+    payload["records"].append(conflicting)
+    path.write_text(json.dumps(payload, indent=1))
+    violations = ResultStore(path).verify()
+    assert any("conflicting payloads" in issue for issue in violations)
+    assert any("duplicate key" in issue for issue in violations)
+
+
+def test_duplicate_key_across_journal_and_store_is_benign(tmp_path):
+    """A retried worker re-journals an identical record; replay skips
+    it and verify treats the byte-identical copy as benign."""
+    path = tmp_path / "study.json"
+    store = ResultStore(path)
+    record = make_record()
+    store.add(record)
+    store.save()
+    other = make_record(repetition=1)
+    shard = tmp_path / "study.w1.jsonl"
+    shard.write_text(journal_line(record) + "\n" + journal_line(other) + "\n")
+    assert ResultStore(path).verify() == []
+    assert main(["store-migrate", str(path)]) == 0
+    migrated = ResultStore(path)
+    assert len(migrated) == 2
+    assert migrated.verify() == []

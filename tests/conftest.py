@@ -1,0 +1,38 @@
+"""Suite-wide collection gates.
+
+The ``identity``-marked tests (the full cold-vs-incremental
+differential matrix in ``tests/identity``) re-run real study slices
+across every backend x transport combination, which is nightly-scale
+work. They are collected but skipped by default; opt in with::
+
+    pytest --identity-full            # whole suite + full matrix
+    pytest -m identity                # the matrix alone
+
+The one-configuration smoke test in ``tests/identity`` is unmarked and
+always runs, so tier-1 still exercises the byte-identity contract.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--identity-full",
+        action="store_true",
+        default=False,
+        help="run the full incremental-identity differential matrix "
+        "(every backend x transport x error type; nightly-scale)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--identity-full"):
+        return
+    if "identity" in (config.getoption("markexpr", "") or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="full identity matrix; opt in with --identity-full or -m identity"
+    )
+    for item in items:
+        if item.get_closest_marker("identity") is not None:
+            item.add_marker(skip)

@@ -1,0 +1,59 @@
+"""Cold-vs-incremental differential tests.
+
+The smoke test runs in tier-1 and pins the headline contract on one
+configuration; the ``identity``-marked matrix (opt-in, see
+``tests/conftest.py``) sweeps all three error types across every
+backend x transport combination with all three model families.
+"""
+
+import pytest
+
+from repro.benchmark.transport import shared_memory_available
+from repro.testing.fixtures import chaos_config
+
+ERROR_TYPES = ("missing_values", "outliers", "mislabels")
+
+#: (backend, transport): the runner loop, the three executor backends,
+#: and both process-pool dataset transports. Transport only crosses a
+#: process boundary, so non-process backends pin it to "auto".
+BACKEND_MATRIX = [
+    ("runner", "auto"),
+    ("serial", "auto"),
+    ("thread", "auto"),
+    ("process", "pickle"),
+    pytest.param(
+        "process",
+        "shm",
+        marks=pytest.mark.skipif(
+            not shared_memory_available(),
+            reason="POSIX shared memory + fork unavailable",
+        ),
+    ),
+]
+
+
+def test_incremental_smoke_byte_identical(assert_cells_identical):
+    """Tier-1 smoke: one config, serial runner, store bytes identical."""
+    assert_cells_identical()
+
+
+def test_incremental_smoke_all_models(assert_cells_identical):
+    """Tier-1 smoke: every model family shares one warm repetition."""
+    assert_cells_identical(
+        chaos_config(models=("log_reg", "knn", "xgboost"), n_repetitions=1)
+    )
+
+
+@pytest.mark.identity
+@pytest.mark.parametrize("error_type", ERROR_TYPES)
+@pytest.mark.parametrize(("backend", "transport"), BACKEND_MATRIX)
+def test_incremental_matrix_byte_identical(
+    assert_cells_identical, backend, transport, error_type
+):
+    """Full matrix: 3 models x 3 error types x every backend/transport."""
+    assert_cells_identical(
+        chaos_config(models=("log_reg", "knn", "xgboost")),
+        backend=backend,
+        transport=transport,
+        error_types=(error_type,),
+    )

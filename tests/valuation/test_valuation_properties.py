@@ -1,0 +1,130 @@
+"""Golden-value regressions and hypothesis properties for valuation.
+
+The golden test pins the exact closed-form output on one fixed
+instance, so any numeric drift in a refactor of the Jia et al.
+recursion is caught byte-for-byte. The properties state the axioms the
+implementation is supposed to satisfy on *arbitrary* data: values sum
+to the utility of the full training set (the efficiency axiom — the
+leave-everything-out utility gap, since the empty set has utility 0),
+and the fairness disparity values sum to the privileged-vs-
+disadvantaged utility gap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.valuation import FairnessShapleyValuator, knn_shapley
+
+SETTINGS = settings(max_examples=40, deadline=None, derandomize=True)
+
+GOLDEN_X_TRAIN = np.array(
+    [
+        [0.305, -1.04],
+        [0.75, 0.941],
+        [-1.951, -1.302],
+        [0.128, -0.316],
+        [-0.017, -0.853],
+        [0.879, 0.778],
+        [0.066, 1.127],
+        [0.468, -0.859],
+    ]
+)
+GOLDEN_Y_TRAIN = np.array([0, 1, 1, 0, 1, 0, 0, 1])
+GOLDEN_X_TEST = np.array([[0.369, -0.959], [0.878, -0.05], [-0.185, -0.681]])
+GOLDEN_Y_TEST = np.array([1, 0, 1])
+
+#: knn_shapley(..., k=3) on the instance above, pinned 2026-08.
+GOLDEN_VALUES = np.array(
+    [
+        9.25185853854297e-18,
+        0.06666666666666667,
+        0.08333333333333333,
+        0.027777777777777773,
+        0.15555555555555556,
+        0.055555555555555546,
+        0.02777777777777778,
+        0.1388888888888889,
+    ]
+)
+
+
+def knn_utility(X_train, y_train, X_test, y_test, k):
+    """Naive oracle: mean fraction of matching labels among the k-NN.
+
+    Only meaningful for ``n_train >= k`` — the regime the closed-form
+    recursion is specified for (and the only one the study uses); the
+    properties below stay inside it.
+    """
+    total = 0.0
+    for x, y in zip(X_test, y_test):
+        distances = np.sum((X_train - x) ** 2, axis=1)
+        order = np.argsort(distances, kind="mergesort")[:k]
+        total += np.mean(y_train[order] == y)
+    return total / len(y_test)
+
+
+def random_instance(seed, n_train, n_test):
+    rng = np.random.default_rng(seed)
+    X_train = rng.normal(size=(n_train, 2)).round(3)
+    y_train = rng.integers(0, 2, n_train)
+    X_test = rng.normal(size=(n_test, 2)).round(3)
+    y_test = rng.integers(0, 2, n_test)
+    return X_train, y_train, X_test, y_test
+
+
+def test_golden_values_regression():
+    values = knn_shapley(
+        GOLDEN_X_TRAIN, GOLDEN_Y_TRAIN, GOLDEN_X_TEST, GOLDEN_Y_TEST, k=3
+    )
+    assert values.tolist() == GOLDEN_VALUES.tolist()
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_train=st.integers(min_value=8, max_value=30),
+    n_test=st.integers(min_value=1, max_value=10),
+    k=st.integers(min_value=1, max_value=7),
+)
+def test_efficiency_values_sum_to_full_utility(seed, n_train, n_test, k):
+    X_train, y_train, X_test, y_test = random_instance(seed, n_train, n_test)
+    values = knn_shapley(X_train, y_train, X_test, y_test, k=k)
+    assert values.sum() == pytest.approx(
+        knn_utility(X_train, y_train, X_test, y_test, k), abs=1e-9
+    )
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_disparity_values_sum_to_group_utility_gap(seed, k):
+    X_train, y_train, X_test, y_test = random_instance(seed, n_train=20, n_test=10)
+    privileged = np.arange(10) < 5
+    result = FairnessShapleyValuator(k=k).value(
+        X_train, y_train, X_test, y_test, privileged, ~privileged
+    )
+    gap = knn_utility(
+        X_train, y_train, X_test[privileged], y_test[privileged], k
+    ) - knn_utility(X_train, y_train, X_test[~privileged], y_test[~privileged], k)
+    assert result.disparity_values.sum() == pytest.approx(gap, abs=1e-9)
+    assert result.accuracy_values.sum() == pytest.approx(
+        knn_utility(X_train, y_train, X_test, y_test, k), abs=1e-9
+    )
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_duplicated_training_point_symmetry(seed):
+    """Identical training tuples receive identical values (symmetry)."""
+    rng = np.random.default_rng(seed)
+    X_train = rng.normal(size=(6, 2)).round(3)
+    X_train[3] = X_train[0]
+    y_train = np.array([1, 0, 1, 1, 0, 1])
+    X_test = rng.normal(size=(4, 2)).round(3)
+    y_test = rng.integers(0, 2, 4)
+    values = knn_shapley(X_train, y_train, X_test, y_test, k=3)
+    assert values[0] == pytest.approx(values[3], abs=1e-12)
