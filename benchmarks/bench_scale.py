@@ -1,0 +1,271 @@
+"""Million-row data-plane benchmark: dictionary codes vs object arrays.
+
+Measures, and writes to ``BENCH_scale.json`` at the repo root, the
+three stages the encoded representation (PR 8) accelerates —
+
+- **build**: generate the adult table (the encoded plane samples
+  ``int32`` codes natively; the legacy baseline materialises every
+  cell as a Python string and re-normalises it per cell, as the
+  pre-encoding ``Table`` constructor did);
+- **clean**: fit + apply mode imputation over the categorical columns
+  (``bincount`` + ``np.where`` on codes vs the historical per-cell
+  dict-count and fill loop);
+- **featurize**: standard-scale + one-hot (scatter on codes vs the
+  per-cell position-lookup loop)
+
+— at 100k and 1M rows, with each (variant, size) point run in its own
+subprocess so ``ru_maxrss`` gives an honest per-variant peak RSS. The
+two variants verify against each other (equal repaired values, equal
+feature matrices) before any timing is trusted, and the 100k point
+asserts the PR's regression floor: the encoded plane must hold a ≥3x
+throughput advantage on build+clean (and on the full
+build+clean+featurize pipeline) and a lower peak RSS.
+
+The legacy implementations below are faithful ports of the repo's
+pre-encoding code paths (object-array ``Table`` normalisation, the
+``repair.py`` per-cell fill loop, the per-cell ``OneHotEncoder``) —
+kept in-bench so the comparison survives the old code's deletion.
+
+Run with ``pytest benchmarks/bench_scale.py`` (or execute this file
+directly with ``--worker`` for one point).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ARTIFACT = Path(__file__).parent.parent / "BENCH_scale.json"
+SRC = Path(__file__).parent.parent / "src"
+
+DATASET = "adult"
+SIZES = (100_000, 1_000_000)
+
+#: Regression floor asserted at the smaller size.
+MIN_BUILD_CLEAN_SPEEDUP = 3.0
+ASSERT_AT = 100_000
+
+
+# -- legacy (pre-encoding) object-array pipeline ----------------------
+
+
+def _legacy_normalise(values) -> "np.ndarray":
+    """Per-cell categorical normalisation of the old Table ctor."""
+    import numpy as np
+
+    arr = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None:
+            arr[i] = None
+        elif isinstance(value, float) and np.isnan(value):
+            arr[i] = None
+        else:
+            arr[i] = str(value)
+    return arr
+
+
+def _legacy_mode(values) -> str:
+    """Per-cell dict-count mode of the old ``_categorical_mode``."""
+    counts: dict[str, int] = {}
+    for value in values:
+        if value is not None:
+            counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        return "__missing__"
+    return max(sorted(counts), key=lambda key: counts[key])
+
+
+def _legacy_fill(values, fill):
+    """Per-cell missing-fill loop of the old ``repair._transform``."""
+    values = values.copy()
+    for i, value in enumerate(values):
+        if value is None:
+            values[i] = fill
+    return values
+
+
+def _legacy_one_hot(columns, categories_per_column):
+    """Per-cell scatter of the old ``OneHotEncoder.transform``."""
+    import numpy as np
+
+    blocks = []
+    for values, categories in zip(columns, categories_per_column):
+        index = {category: i for i, category in enumerate(categories)}
+        block = np.zeros((len(values), len(categories)), dtype=np.float64)
+        for row, value in enumerate(values):
+            position = index.get(value)
+            if position is not None:
+                block[row, position] = 1.0
+        blocks.append(block)
+    return np.hstack(blocks)
+
+
+def _legacy_fit_categories(columns):
+    """Old fit: sorted present values, None last when observed."""
+    categories = []
+    for values in columns:
+        seen = set(values)
+        categories.append(
+            sorted(v for v in seen if v is not None)
+            + ([None] if None in seen else [])
+        )
+    return categories
+
+
+# -- the measured pipelines -------------------------------------------
+
+
+def _run_point(variant: str, n_rows: int) -> dict:
+    import numpy as np
+
+    from repro.datasets import load_dataset
+    from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+
+    timings: dict[str, float] = {}
+
+    # build: generate + (legacy only) object materialisation and
+    # per-cell re-normalisation, which is what the old generators plus
+    # the old Table constructor did to every categorical cell
+    start = time.perf_counter()
+    __, table = load_dataset(DATASET, n_rows, seed=0)
+    categorical_names = tuple(table.schema.categorical_names())
+    numeric_names = tuple(table.schema.numeric_names())
+    if variant == "legacy":
+        raw = {name: _legacy_normalise(table.column(name)) for name in categorical_names}
+    timings["build_s"] = time.perf_counter() - start
+
+    # clean: mode imputation over the categorical columns
+    start = time.perf_counter()
+    if variant == "encoded":
+        repaired = {}
+        for name in categorical_names:
+            column = table.categorical(name)
+            mode = column.mode() or "__missing__"
+            repaired[name] = (
+                column.fill_missing(mode)
+                if column.missing_mask().any()
+                else column
+            )
+    else:
+        repaired = {}
+        for name in categorical_names:
+            values = raw[name]
+            repaired[name] = _legacy_fill(values, _legacy_mode(values))
+    timings["clean_s"] = time.perf_counter() - start
+
+    # featurize: standard-scale numerics (identical in both variants)
+    # + one-hot the repaired categoricals
+    start = time.perf_counter()
+    numeric = np.column_stack([table.column(name) for name in numeric_names])
+    numeric[np.isnan(numeric)] = 0.0
+    scaled = StandardScaler().fit_transform(numeric)
+    columns = [repaired[name] for name in categorical_names]
+    if variant == "encoded":
+        block = OneHotEncoder().fit(columns).transform(columns)
+    else:
+        block = _legacy_one_hot(columns, _legacy_fit_categories(columns))
+    matrix = np.hstack([scaled, block])
+    timings["featurize_s"] = time.perf_counter() - start
+
+    # equivalence evidence, computed outside the timed stages
+    digest = hashlib.sha256()
+    digest.update(matrix.tobytes())
+    for name in categorical_names:
+        column = repaired[name]
+        decoded = column.decode() if variant == "encoded" else column
+        digest.update("\x00".join("" if v is None else v for v in decoded).encode())
+    return {
+        **timings,
+        "total_s": sum(timings.values()),
+        "rows_per_s_build_clean": n_rows / (timings["build_s"] + timings["clean_s"]),
+        "rows_per_s_total": n_rows / sum(timings.values()),
+        "matrix_shape": list(matrix.shape),
+        "checksum": digest.hexdigest(),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _run_point_subprocess(variant: str, n_rows: int) -> dict:
+    """One (variant, size) point in a fresh interpreter, so peak RSS
+    reflects that variant alone."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}{env['PYTHONPATH']}" if env.get(
+        "PYTHONPATH"
+    ) else str(SRC)
+    result = subprocess.run(
+        [sys.executable, __file__, "--worker", variant, str(n_rows)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"worker {variant}@{n_rows} failed:\n{result.stderr}"
+        )
+    return json.loads(result.stdout)
+
+
+def test_scale_encoded_vs_legacy():
+    sizes: dict[str, dict] = {}
+    for n_rows in SIZES:
+        encoded = _run_point_subprocess("encoded", n_rows)
+        legacy = _run_point_subprocess("legacy", n_rows)
+        assert encoded["checksum"] == legacy["checksum"], (
+            f"pipelines diverged at {n_rows} rows; timings are meaningless"
+        )
+        point = {
+            "encoded": encoded,
+            "legacy": legacy,
+            "speedup_build_clean": (
+                encoded["rows_per_s_build_clean"]
+                / legacy["rows_per_s_build_clean"]
+            ),
+            "speedup_total": (
+                encoded["rows_per_s_total"] / legacy["rows_per_s_total"]
+            ),
+            "peak_rss_ratio": (
+                legacy["peak_rss_kb"] / max(1, encoded["peak_rss_kb"])
+            ),
+        }
+        sizes[str(n_rows)] = point
+        if n_rows == ASSERT_AT:
+            assert point["speedup_build_clean"] >= MIN_BUILD_CLEAN_SPEEDUP, (
+                f"encoded build+clean must hold a >={MIN_BUILD_CLEAN_SPEEDUP}x "
+                f"throughput edge at {n_rows} rows, "
+                f"got {point['speedup_build_clean']:.2f}x"
+            )
+            assert point["speedup_total"] >= MIN_BUILD_CLEAN_SPEEDUP, (
+                f"encoded build+clean+featurize must hold a "
+                f">={MIN_BUILD_CLEAN_SPEEDUP}x edge at {n_rows} rows, "
+                f"got {point['speedup_total']:.2f}x"
+            )
+            assert encoded["peak_rss_kb"] < legacy["peak_rss_kb"], (
+                "encoded plane must peak below the object-array baseline: "
+                f"{encoded['peak_rss_kb']} vs {legacy['peak_rss_kb']} KiB"
+            )
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "dataset": DATASET,
+                "cpu_count": os.cpu_count(),
+                "stages": ["build", "clean", "featurize"],
+                "sizes": sizes,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 4 and sys.argv[1] == "--worker":
+        print(json.dumps(_run_point(sys.argv[2], int(sys.argv[3]))))
+    else:
+        sys.exit("usage: bench_scale.py --worker {encoded|legacy} <n_rows>")

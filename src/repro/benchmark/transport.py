@@ -17,10 +17,14 @@ worker sees the ref and read-only ever after:
   row-slices of a view over the segment buffer, so a column costs a
   16-byte view object, not a copy.
 - the *code block*: all categorical columns as one ``(n_categorical,
-  n_rows)`` int32 array of indices into per-column category tuples
-  carried (pickled, they are tiny) inside the ref; ``-1`` = missing.
-  Attachment rebuilds the object arrays via a single fancy-indexing
-  pass per column — the only materialisation the transport performs.
+  n_rows)`` int32 array of dictionary codes with their per-column
+  string pools carried (pickled, they are tiny) inside the ref;
+  ``-1`` = missing. Since tables store categorical columns as int32
+  codes natively, publishing is a straight ``memcpy`` of each codes
+  array and attachment wraps zero-copy row views back into
+  :class:`~repro.tabular.encoding.CategoricalColumn` objects — the
+  transport performs no encoding and no string materialisation at
+  all.
 
 Lifecycle — the parent owns every segment. :class:`ShmRegistry` leases
 a published table to each work unit that needs it and unlinks the
@@ -49,6 +53,7 @@ from typing import Any
 import numpy as np
 
 from repro import obs
+from repro.tabular.encoding import CategoricalColumn
 from repro.tabular.schema import ColumnKind, Schema
 from repro.tabular.table import Table
 
@@ -100,9 +105,9 @@ class TableRef:
             order.
         codes_segment: Segment name of the code block (None when the
             table has no categorical columns).
-        categories: Per categorical column, the tuple of distinct
-            string values its codes index into (missing is code -1,
-            not a category).
+        categories: Per categorical column, the string pool its codes
+            index into (missing is code -1, not a pool entry); exactly
+            the column's native ``CategoricalColumn.pool``.
     """
 
     schema: Schema
@@ -174,13 +179,9 @@ def publish_table(table: Table) -> tuple[TableRef, list[shared_memory.SharedMemo
         codes_segment = segment.name
         block = np.ndarray(block_shape, dtype=np.int32, buffer=segment.buf)
         for row, name in enumerate(categorical_names):
-            values = table._column_view(name)
-            cats = tuple(table.distinct(name))
-            index = {value: code for code, value in enumerate(cats)}
-            block[row, :] = [
-                -1 if value is None else index[value] for value in values
-            ]
-            categories.append(cats)
+            column = table.categorical(name)
+            block[row, :] = column.codes
+            categories.append(column.pool)
     ref = TableRef(
         schema=schema,
         n_rows=n_rows,
@@ -198,14 +199,15 @@ def attach_table(ref: TableRef) -> tuple[Table, list[shared_memory.SharedMemory]
     """Attach to a published table and rebuild zero-copy column views.
 
     Numeric columns are read-only views straight into the segment
-    buffer (no copy); categorical columns are rebuilt from the int32
-    code block through a per-column lookup table (``-1`` indexes the
-    appended ``None`` sentinel). The returned segment handles must
-    stay referenced as long as the table is used — dropping them lets
-    the mmap close under the live views — and must be ``close()``d,
-    never unlinked, by the attaching process.
+    buffer (no copy); categorical columns wrap read-only int32 code
+    views in :class:`CategoricalColumn` objects over the pools carried
+    by the ref — also zero-copy, since codes are the table's native
+    representation. The returned segment handles must stay referenced
+    as long as the table is used — dropping them lets the mmap close
+    under the live views — and must be ``close()``d, never unlinked,
+    by the attaching process.
     """
-    columns: dict[str, np.ndarray] = {}
+    columns: dict[str, np.ndarray | CategoricalColumn] = {}
     handles: list[shared_memory.SharedMemory] = []
     if ref.numeric_segment is not None:
         segment = shared_memory.SharedMemory(name=ref.numeric_segment)
@@ -226,10 +228,11 @@ def attach_table(ref: TableRef) -> tuple[Table, list[shared_memory.SharedMemory]
             dtype=np.int32,
             buffer=segment.buf,
         )
+        block.flags.writeable = False
         for row, name in enumerate(ref.categorical_names):
-            # -1 (missing) indexes the trailing None sentinel
-            lookup = np.array([*ref.categories[row], None], dtype=object)
-            columns[name] = lookup[block[row]]
+            columns[name] = CategoricalColumn(
+                block[row], ref.categories[row], validate=False
+            )
     obs.counter("shm_tables_attached")
     return Table.from_trusted_columns(ref.schema, columns), handles
 

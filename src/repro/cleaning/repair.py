@@ -52,15 +52,15 @@ def _numeric_statistic(values: np.ndarray, strategy: NumericImputation) -> float
     return float(uniques[np.argmax(counts)])
 
 
-def _categorical_mode(values: np.ndarray) -> str:
-    """Most frequent non-missing category (DUMMY_VALUE if all missing)."""
-    counts: dict[str, int] = {}
-    for value in values:
-        if value is not None:
-            counts[value] = counts.get(value, 0) + 1
-    if not counts:
-        return DUMMY_VALUE
-    return max(sorted(counts), key=lambda key: counts[key])
+def _categorical_mode(column) -> str:
+    """Most frequent non-missing category (DUMMY_VALUE if all missing).
+
+    Runs on the dictionary-encoded codes: one ``bincount`` over the
+    column's pool, tie-broken to the lexicographically smallest value
+    (matching the historical dict-counting implementation).
+    """
+    mode = column.mode()
+    return DUMMY_VALUE if mode is None else mode
 
 
 class MissingValueRepair:
@@ -98,7 +98,7 @@ class MissingValueRepair:
             }
         else:
             self._categorical_fill = {
-                name: _categorical_mode(table.column(name))
+                name: _categorical_mode(table.categorical(name))
                 for name in table.schema.categorical_names()
             }
         return self
@@ -123,14 +123,11 @@ class MissingValueRepair:
         for name, fill in self._categorical_fill.items():
             if name not in table.schema:
                 continue
-            values = result.column(name)
-            changed = False
-            for i, value in enumerate(values):
-                if value is None:
-                    values[i] = fill
-                    changed = True
-            if changed:
-                result = result.with_categorical_column(name, values)
+            column = result.categorical(name)
+            if column.missing_mask().any():
+                result = result.with_categorical_column(
+                    name, column.fill_missing(fill)
+                )
         return result
 
     def fit_transform(self, table: Table) -> Table:

@@ -53,8 +53,8 @@ def generate(n_rows: int, seed: int = 0) -> Table:
         ["white", "black", "asian_pac_islander", "amer_indian", "other"],
         [0.855, 0.096, 0.031, 0.01, 0.008],
     )
-    is_male = np.array([value == "male" for value in sex])
-    is_white = np.array([value == "white" for value in race])
+    is_male = sex.eq("male")
+    is_white = race.eq("white")
 
     age = syn.clipped_normal(rng, n_rows, 38.5, 13.5, 17, 90).round()
 
@@ -63,11 +63,12 @@ def generate(n_rows: int, seed: int = 0) -> Table:
         0,
         len(EDUCATION_LEVELS) - 1,
     )
-    education = np.empty(n_rows, dtype=object)
-    education_num = np.empty(n_rows, dtype=np.float64)
-    for i, idx in enumerate(education_idx):
-        education[i] = EDUCATION_LEVELS[idx][0]
-        education_num[i] = EDUCATION_LEVELS[idx][1]
+    education = syn.take_categories(
+        education_idx, [name for name, __ in EDUCATION_LEVELS]
+    )
+    education_num = np.take(
+        np.array([years for __, years in EDUCATION_LEVELS]), education_idx
+    )
 
     workclass = syn.categorical(rng, n_rows, WORKCLASSES, [0.69, 0.11, 0.13, 0.07])
     occupation = syn.categorical(
@@ -87,7 +88,7 @@ def generate(n_rows: int, seed: int = 0) -> Table:
     capital_gain = syn.sentinel_spike(rng, capital_gain, 99999.0, 0.005)
     capital_loss = syn.zero_inflated_lognormal(rng, n_rows, 0.95, 7.4, 0.5)
 
-    married = np.array([value == "married" for value in marital])
+    married = marital.eq("married")
     latent = (
         -15.3
         + 0.96 * education_num

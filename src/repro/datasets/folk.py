@@ -56,8 +56,8 @@ def generate(n_rows: int, seed: int = 0) -> Table:
         ["white", "black", "asian", "other", "two_or_more"],
         [0.60, 0.06, 0.15, 0.14, 0.05],
     )
-    is_male = np.array([value == "male" for value in sex])
-    is_white = np.array([value == "white" for value in race])
+    is_male = sex.eq("male")
+    is_white = race.eq("white")
 
     # ACS covers minors; AGEP down to 16 in the income task filtering,
     # but we keep a slice under 18 to exercise the structural N/A path
@@ -69,11 +69,12 @@ def generate(n_rows: int, seed: int = 0) -> Table:
         0,
         len(SCHOOLING) - 1,
     )
-    schooling = np.empty(n_rows, dtype=object)
-    school_years = np.empty(n_rows, dtype=np.float64)
-    for i, idx in enumerate(schooling_idx):
-        schooling[i] = SCHOOLING[idx][0]
-        school_years[i] = SCHOOLING[idx][1]
+    schooling = syn.take_categories(
+        schooling_idx, [name for name, __ in SCHOOLING]
+    )
+    school_years = np.take(
+        np.array([years for __, years in SCHOOLING]), schooling_idx
+    )
 
     occupation = syn.categorical(
         rng,

@@ -64,12 +64,15 @@ def generate(n_rows: int, seed: int = 0) -> Table:
         size=n_rows,
         p=[weight for __, __, weight in PERSONAL_STATUS],
     )
-    personal_status = np.empty(n_rows, dtype=object)
-    sex = np.empty(n_rows, dtype=object)
-    for i, idx in enumerate(status_idx):
-        personal_status[i] = PERSONAL_STATUS[idx][0]
-        sex[i] = PERSONAL_STATUS[idx][1]
-    is_male = np.array([value == "male" for value in sex])
+    personal_status = syn.take_categories(
+        status_idx, [status for status, __, __ in PERSONAL_STATUS]
+    )
+    # sex is derived: map each status index to its sex's pool code
+    sex_by_status = np.array(
+        [0 if sex_value == "male" else 1 for __, sex_value, __ in PERSONAL_STATUS]
+    )
+    sex = syn.take_categories(sex_by_status[status_idx], ["male", "female"])
+    is_male = sex.eq("male")
 
     age = np.clip(rng.gamma(2.0, 8.0, size=n_rows) + 19, 19, 75).round()
     is_over_25 = age > 25
@@ -100,13 +103,9 @@ def generate(n_rows: int, seed: int = 0) -> Table:
     existing_credits = np.clip(rng.poisson(0.5, size=n_rows) + 1, 1, 4).astype(float)
     num_dependents = np.clip(rng.poisson(0.2, size=n_rows) + 1, 1, 2).astype(float)
 
-    good_history = np.array(
-        [value in ("existing_paid_duly", "all_paid_duly") for value in credit_history]
-    )
-    has_checking = np.array([value != "no_account" for value in checking_status])
-    high_savings = np.array(
-        [value in ("500_to_1000", "ge_1000") for value in savings]
-    )
+    good_history = credit_history.isin(("existing_paid_duly", "all_paid_duly"))
+    has_checking = ~checking_status.eq("no_account")
+    high_savings = savings.isin(("500_to_1000", "ge_1000"))
     latent = (
         0.9
         - 0.1 * (duration - 20)

@@ -25,7 +25,7 @@ def generate(n_rows: int, seed: int = 0) -> Table:
     rng = np.random.default_rng(seed)
 
     sex = syn.categorical(rng, n_rows, ["male", "female"], [0.35, 0.65])
-    is_male = np.array([value == "male" for value in sex])
+    is_male = sex.eq("male")
 
     age = syn.clipped_normal(rng, n_rows, 53.0, 6.8, 29, 65).round()
     is_over_45 = age > 45
@@ -66,11 +66,11 @@ def generate(n_rows: int, seed: int = 0) -> Table:
     alcohol = (rng.random(n_rows) < (0.03 + 0.05 * is_male)).astype(np.float64)
     active = (rng.random(n_rows) < 0.8).astype(np.float64)
 
-    chol_score = np.array(
-        [
-            {"normal": 0.0, "above_normal": 1.0, "well_above_normal": 2.0}[value]
-            for value in cholesterol
-        ]
+    # score each pool value once, then gather through the codes
+    chol_levels = {"normal": 0.0, "above_normal": 1.0, "well_above_normal": 2.0}
+    chol_score = np.take(
+        np.array([chol_levels[value] for value in cholesterol.pool]),
+        cholesterol.codes,
     )
     bmi = weight / (height / 100.0) ** 2
     true_ap_hi = np.where((ap_hi > 0) & (ap_hi < 300), ap_hi, 128.0)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tabular.encoding import CategoricalColumn
+
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function."""
@@ -34,15 +36,29 @@ def categorical(
     n: int,
     categories: list[str],
     probabilities: list[float] | np.ndarray,
-) -> np.ndarray:
-    """Sample an object array of categories with the given probabilities."""
+) -> CategoricalColumn:
+    """Sample a dictionary-encoded column with the given probabilities.
+
+    The draws *are* the codes: no per-element Python loop and no string
+    objects are created — the category list becomes the column's pool
+    directly. The RNG stream is identical to the historical
+    object-array sampler (one ``rng.choice`` over category indices).
+    """
     probabilities = np.asarray(probabilities, dtype=np.float64)
     probabilities = probabilities / probabilities.sum()
     draws = rng.choice(len(categories), size=n, p=probabilities)
-    out = np.empty(n, dtype=object)
-    for i, draw in enumerate(draws):
-        out[i] = categories[draw]
-    return out
+    return CategoricalColumn(
+        draws.astype(np.int32), tuple(categories), validate=False
+    )
+
+
+def take_categories(
+    indices: np.ndarray, categories: list[str]
+) -> CategoricalColumn:
+    """Wrap precomputed category indices as an encoded column."""
+    return CategoricalColumn(
+        np.asarray(indices).astype(np.int32), tuple(categories), validate=False
+    )
 
 
 def clipped_normal(
@@ -92,15 +108,18 @@ def inject_missing_numeric(
 
 def inject_missing_categorical(
     rng: np.random.Generator,
-    values: np.ndarray,
+    values: CategoricalColumn | np.ndarray,
     probability: np.ndarray | float,
-) -> np.ndarray:
-    """Return a copy with entries set to None with per-row probability."""
-    out = np.empty(len(values), dtype=object)
+) -> CategoricalColumn | np.ndarray:
+    """Return a copy with entries marked missing with per-row probability.
+
+    Encoded columns get their hit codes set to ``-1`` in one
+    ``np.where``; object arrays (legacy callers) get ``None``.
+    """
     mask = rng.random(len(values)) < probability
-    for i, value in enumerate(values):
-        out[i] = None if mask[i] else value
-    return out
+    if isinstance(values, CategoricalColumn):
+        return values.set_missing(mask)
+    return np.where(mask, None, values)
 
 
 def flip_labels(

@@ -55,17 +55,15 @@ class GroupPredicate:
                 f"sensitive attribute {self.attribute!r} not in table; "
                 f"available: {', '.join(table.column_names)}"
             )
-        values = table.column(self.attribute)
         kind = table.kind_of(self.attribute)
         if kind is ColumnKind.CATEGORICAL:
             if self.comparison is not Comparison.EQ:
                 raise ValueError(
                     f"categorical attribute {self.attribute!r} only supports EQ"
                 )
-            return np.array(
-                [value is not None and value == str(self.value) for value in values],
-                dtype=bool,
-            )
+            # one vectorised code comparison; missing (-1) never matches
+            return table.categorical(self.attribute).eq(str(self.value))
+        values = table.column(self.attribute)
         numeric = values.astype(np.float64)
         defined = ~np.isnan(numeric)
         constant = float(self.value)  # raises for non-numeric constants

@@ -2,9 +2,11 @@
 
 The :class:`TabularFeaturizer` turns a :class:`~repro.tabular.Table`
 into a dense float matrix: numeric columns are standardised, and
-categorical columns are one-hot encoded. It is always fitted on the
-training table and applied to both train and test tables, mirroring
-the paper's pipeline.
+categorical columns are one-hot encoded straight from their
+dictionary codes (no string materialisation, no per-call
+string→index dict). It is always fitted on the training table and
+applied to both train and test tables, mirroring the paper's
+pipeline.
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ class TabularFeaturizer(BaseEstimator):
                 )
             self._scaler = StandardScaler().fit(numeric)
         self._encoder = OneHotEncoder().fit(
-            [table.column(name) for name in self._categorical_names]
+            [table.categorical(name) for name in self._categorical_names]
         )
         return self
 
@@ -79,7 +81,7 @@ class TabularFeaturizer(BaseEstimator):
         if self._categorical_names:
             blocks.append(
                 self._encoder.transform(
-                    [table.column(name) for name in self._categorical_names]
+                    [table.categorical(name) for name in self._categorical_names]
                 )
             )
         if not blocks:

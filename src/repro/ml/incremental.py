@@ -53,7 +53,7 @@ import numpy as np
 from repro import obs
 from repro.ml.featurize import TabularFeaturizer
 from repro.ml.preprocessing import OneHotEncoder, StandardScaler
-from repro.tabular import ColumnKind, Table
+from repro.tabular import ColumnKind, Table, aligned_codes
 
 __all__ = [
     "ReuseScope",
@@ -97,13 +97,15 @@ class TableDelta:
         return self.changed_rows.size == 0
 
 
-def _column_changed(kind: ColumnKind, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Elementwise changed mask; NaN==NaN and None==None count as equal."""
+def _column_changed(kind: ColumnKind, a, b) -> np.ndarray:
+    """Elementwise changed mask; NaN==NaN and missing==missing count as equal."""
     if kind is ColumnKind.NUMERIC:
         return (a != b) & ~(np.isnan(a) & np.isnan(b))
-    # object arrays of str | None: Python != is elementwise and treats
-    # None == None as unchanged
-    return np.asarray(a != b, dtype=bool)
+    # dictionary-encoded columns: compare int32 codes over a common
+    # pool (zero-copy when the pools already match, which they do
+    # along a version lineage); -1 == -1 keeps missing unchanged
+    codes_a, codes_b = aligned_codes(a, b)
+    return codes_a != codes_b
 
 
 def table_delta(parent: Table, child: Table) -> TableDelta | None:
@@ -127,11 +129,15 @@ def table_delta(parent: Table, child: Table) -> TableDelta | None:
     columns: list[str] = []
     categorical: list[str] = []
     for name in child.column_names:
-        a = parent._column_view(name)
-        b = child._column_view(name)
+        kind = child.kind_of(name)
+        if kind is ColumnKind.NUMERIC:
+            a = parent._column_view(name)
+            b = child._column_view(name)
+        else:
+            a = parent.categorical(name)
+            b = child.categorical(name)
         if a is b:
             continue
-        kind = child.kind_of(name)
         diff = _column_changed(kind, a, b)
         if diff.any():
             changed |= diff
@@ -376,7 +382,7 @@ def _patched_categorical_block(
     if changed_rows.size == 0:
         return parent_block
     block = parent_block.copy()
-    columns = [table._column_view(name)[changed_rows] for name in names]
+    columns = [table.categorical(name).take(changed_rows) for name in names]
     block[changed_rows] = encoder.transform(columns)
     return block
 
@@ -423,7 +429,7 @@ def incremental_featurize(
             return None
     if delta.train.changed_categorical:
         refitted = OneHotEncoder().fit(
-            [train.column(name) for name in categorical_names]
+            [train.categorical(name) for name in categorical_names]
         )
         if refitted.categories_ != encoder.categories_:
             return None

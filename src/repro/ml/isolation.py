@@ -63,15 +63,74 @@ def _build_itree(
     )
 
 
-def _path_lengths(node: _ITreeNode, X: np.ndarray, rows: np.ndarray, depth: int,
-                  out: np.ndarray) -> None:
-    if node.is_leaf:
-        out[rows] = depth + _average_path_length(node.size)
-        return
-    assert node.left is not None and node.right is not None
-    goes_left = X[rows, node.feature] < node.threshold
-    _path_lengths(node.left, X, rows[goes_left], depth + 1, out)
-    _path_lengths(node.right, X, rows[~goes_left], depth + 1, out)
+class _FlatTree:
+    """An isolation tree flattened to struct-of-arrays for traversal.
+
+    Node ``i`` is internal iff ``feature[i] >= 0``; its children are
+    ``left[i]``/``right[i]``. For leaves, ``leaf_value[i]`` holds the
+    fully-resolved path length ``depth + c(size)`` — precomputed with
+    the same scalar addition the recursive walk performed, so scores
+    are bit-identical to a pointer-chasing descent.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "leaf_value")
+
+    def __init__(self, root: _ITreeNode) -> None:
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        leaf_value: list[float] = []
+        # preorder walk assigning indices; stack holds (node, depth)
+        stack: list[tuple[_ITreeNode, int, int]] = [(root, 0, -1)]
+        # (node, depth, parent slot): parent slot >= 0 patches right[]
+        while stack:
+            node, depth, patch = stack.pop()
+            index = len(feature)
+            if patch >= 0:
+                right[patch] = index
+            if node.is_leaf:
+                feature.append(-1)
+                threshold.append(0.0)
+                left.append(-1)
+                right.append(-1)
+                leaf_value.append(depth + _average_path_length(node.size))
+            else:
+                assert node.left is not None and node.right is not None
+                feature.append(node.feature)
+                threshold.append(node.threshold)
+                left.append(index + 1)  # preorder: left child is next
+                right.append(-1)  # patched when the right child is emitted
+                leaf_value.append(0.0)
+                stack.append((node.right, depth + 1, index))
+                stack.append((node.left, depth + 1, -1))
+        self.feature = np.array(feature, dtype=np.int32)
+        self.threshold = np.array(threshold, dtype=np.float64)
+        self.left = np.array(left, dtype=np.int32)
+        self.right = np.array(right, dtype=np.int32)
+        self.leaf_value = np.array(leaf_value, dtype=np.float64)
+
+    def path_lengths(self, X: np.ndarray, out: np.ndarray) -> None:
+        """Iterative batch descent over the flattened arrays.
+
+        An explicit worklist replaces the recursive partitioning: each
+        entry routes a whole row batch through one node with a single
+        column compare, so no Python recursion (or per-leaf
+        ``_average_path_length`` recomputation) happens on the hot
+        scoring path.
+        """
+        feature, threshold = self.feature, self.threshold
+        left, right, leaf_value = self.left, self.right, self.leaf_value
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            index, rows = stack.pop()
+            f = feature[index]
+            if f < 0:
+                out[rows] = leaf_value[index]
+                continue
+            goes_left = X[rows, f] < threshold[index]
+            stack.append((right[index], rows[~goes_left]))
+            stack.append((left[index], rows[goes_left]))
 
 
 class IsolationForest(BaseEstimator):
@@ -102,7 +161,7 @@ class IsolationForest(BaseEstimator):
         self.max_samples = max_samples
         self.contamination = contamination
         self.random_state = random_state
-        self._trees: list[_ITreeNode] = []
+        self._trees: list[_FlatTree] = []
         self._subsample_size: int = 0
         self.threshold_: float | None = None
 
@@ -118,7 +177,9 @@ class IsolationForest(BaseEstimator):
         self._trees = []
         for __ in range(self.n_estimators):
             rows = rng.choice(X.shape[0], size=self._subsample_size, replace=False)
-            self._trees.append(_build_itree(X[rows], 0, max_depth, rng))
+            # recursive build keeps the historical RNG stream; the node
+            # tree is flattened immediately and discarded
+            self._trees.append(_FlatTree(_build_itree(X[rows], 0, max_depth, rng)))
         scores = self.score_samples(X)
         # contamination-quantile threshold, as in scikit-learn
         self.threshold_ = float(
@@ -133,9 +194,8 @@ class IsolationForest(BaseEstimator):
         X = np.asarray(X, dtype=np.float64)
         depths = np.zeros(X.shape[0], dtype=np.float64)
         buffer = np.empty(X.shape[0], dtype=np.float64)
-        rows = np.arange(X.shape[0])
         for tree in self._trees:
-            _path_lengths(tree, X, rows, 0, buffer)
+            tree.path_lengths(X, buffer)
             depths += buffer
         mean_depth = depths / len(self._trees)
         normaliser = _average_path_length(self._subsample_size)

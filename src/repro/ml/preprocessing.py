@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator
+from repro.tabular.encoding import CategoricalColumn, encode_values
 
 
 class StandardScaler(BaseEstimator):
@@ -43,53 +44,98 @@ class StandardScaler(BaseEstimator):
 
 
 class OneHotEncoder(BaseEstimator):
-    """One-hot encode columns of string categories.
+    """One-hot encode dictionary-encoded (or object-array) columns.
 
     Categories are learned at fit time; unseen categories at transform
     time map to the all-zeros vector (the "ignore" strategy). ``None``
     (missing) values also map to all-zeros unless they were present at
     fit time, in which case missingness gets its own indicator — this
     is what lets downstream models exploit "dummy"-imputed columns.
+
+    The native input is a list of
+    :class:`~repro.tabular.encoding.CategoricalColumn`: fitting counts
+    codes with ``bincount`` and transforming scatters ones through a
+    per-column code→position table — no per-cell Python work and no
+    string materialisation. Object arrays of ``str | None`` are still
+    accepted (they are encoded on entry) and produce identical
+    ``categories_`` and blocks.
     """
 
     def __init__(self) -> None:
         self.categories_: list[list[str | None]] | None = None
 
-    def fit(self, columns: list[np.ndarray]) -> "OneHotEncoder":
-        """Fit on a list of object arrays (one per categorical column)."""
+    @staticmethod
+    def _as_encoded(values: np.ndarray | CategoricalColumn) -> CategoricalColumn:
+        if isinstance(values, CategoricalColumn):
+            return values
+        return encode_values(values)
+
+    def fit(
+        self, columns: list[np.ndarray | CategoricalColumn]
+    ) -> "OneHotEncoder":
+        """Fit on a list of columns (one per categorical feature)."""
         self.categories_ = []
         for values in columns:
-            seen: set[str | None] = set()
-            for value in values:
-                seen.add(value)
-            # None sorts last; strings sort lexicographically.
-            ordered = sorted(
-                (value for value in seen if value is not None)
-            ) + ([None] if None in seen else [])
+            column = self._as_encoded(values)
+            # categories are the *present* values, sorted, with None
+            # last when missingness was observed at fit time
+            ordered: list[str | None] = list(column.present_values())
+            if column.missing_mask().any():
+                ordered.append(None)
             self.categories_.append(ordered)
         return self
 
-    def transform(self, columns: list[np.ndarray]) -> np.ndarray:
+    def transform(
+        self, columns: list[np.ndarray | CategoricalColumn]
+    ) -> np.ndarray:
         if self.categories_ is None:
             raise RuntimeError("OneHotEncoder is not fitted")
         if len(columns) != len(self.categories_):
             raise ValueError(
                 f"expected {len(self.categories_)} columns, got {len(columns)}"
             )
-        blocks = []
-        for values, categories in zip(columns, self.categories_):
-            index = {category: i for i, category in enumerate(categories)}
-            block = np.zeros((len(values), len(categories)), dtype=np.float64)
-            for row, value in enumerate(values):
-                position = index.get(value)
-                if position is not None:
-                    block[row, position] = 1.0
-            blocks.append(block)
-        if not blocks:
+        if not columns:
             return np.zeros((0, 0), dtype=np.float64)
-        return np.hstack(blocks)
+        encoded = [self._as_encoded(values) for values in columns]
+        n_rows = len(encoded[0])
+        width = self.n_output_features
+        # absolute output position per (row, column); -1 = all-zeros row
+        absolute = np.empty((n_rows, len(encoded)), dtype=np.intp)
+        offset = 0
+        for slot, (column, categories) in enumerate(
+            zip(encoded, self.categories_)
+        ):
+            position_of = {
+                category: i
+                for i, category in enumerate(categories)
+                if category is not None
+            }
+            # code→category position; -1 = not fitted → all-zeros row
+            mapping = np.full(len(column.pool) + 1, -1, dtype=np.intp)
+            for code, value in enumerate(column.pool):
+                mapping[code] = position_of.get(value, -1)
+            if categories and categories[-1] is None:
+                mapping[-1] = len(categories) - 1
+            positions = mapping[column.codes]  # missing (-1) hits the tail
+            np.add(positions, offset, where=positions >= 0, out=positions)
+            absolute[:, slot] = positions
+            offset += len(categories)
+        # one allocation, one scatter: flat indices laid out row-major
+        # are already sorted, so the write pass is sequential instead
+        # of one sparse sweep over the matrix per column
+        block = np.zeros((n_rows, width), dtype=np.float64)
+        indices = (
+            np.arange(n_rows, dtype=np.intp)[:, None] * width + absolute
+        ).reshape(-1)
+        valid = absolute.reshape(-1) >= 0
+        if not valid.all():
+            indices = indices[valid]
+        block.reshape(-1)[indices] = 1.0
+        return block
 
-    def fit_transform(self, columns: list[np.ndarray]) -> np.ndarray:
+    def fit_transform(
+        self, columns: list[np.ndarray | CategoricalColumn]
+    ) -> np.ndarray:
         return self.fit(columns).transform(columns)
 
     @property

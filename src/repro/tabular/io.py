@@ -77,7 +77,7 @@ def read_csv(path: str | Path, schema: Schema) -> Table:
                 else:
                     raw_columns[name].append(field)
 
-    columns: dict[str, np.ndarray] = {}
+    columns: dict[str, object] = {}
     for name in schema.names:
         if schema.kind_of(name) is ColumnKind.NUMERIC:
             columns[name] = np.array(
@@ -85,8 +85,6 @@ def read_csv(path: str | Path, schema: Schema) -> Table:
                 dtype=np.float64,
             )
         else:
-            arr = np.empty(len(raw_columns[name]), dtype=object)
-            for i, value in enumerate(raw_columns[name]):
-                arr[i] = value
-            columns[name] = arr
+            # str | None lists dictionary-encode directly in the ctor
+            columns[name] = raw_columns[name]
     return Table(schema, columns)

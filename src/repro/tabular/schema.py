@@ -2,9 +2,10 @@
 
 A schema is an ordered collection of column specs. Each column is either
 numeric (stored as float64, with NaN marking missing values) or
-categorical (stored as an object array of strings, with None marking
-missing values). This mirrors the NULL/NaN semantics the paper's error
-detectors rely on.
+categorical (dictionary-encoded: int32 codes over an interned string
+pool, with code -1 marking missing values; see
+:mod:`repro.tabular.encoding`). This mirrors the NULL/NaN semantics the
+paper's error detectors rely on.
 """
 
 from __future__ import annotations

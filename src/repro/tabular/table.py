@@ -1,9 +1,16 @@
 """The Table data structure.
 
 A Table stores columns as numpy arrays: numeric columns as float64
-(NaN = missing) and categorical columns as object arrays of ``str``
-(None = missing). Tables are immutable by convention — all operations
-return new tables; mutation helpers always copy.
+(NaN = missing) and categorical columns dictionary-encoded as
+:class:`~repro.tabular.encoding.CategoricalColumn` — an ``int32``
+codes array over an interned string pool (``-1`` = missing). Tables
+are immutable by convention — all operations return new tables;
+mutation helpers always copy.
+
+Row selection, missingness, equality and statistics all operate on
+the codes; Python string objects are materialised only at the
+explicit boundaries: :meth:`Table.column`, :meth:`Table.row` /
+:meth:`Table.iter_rows`, and CSV IO.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.tabular.encoding import CategoricalColumn, encode_values
 from repro.tabular.schema import ColumnKind, ColumnSpec, Schema
 
 
@@ -22,16 +30,15 @@ def _as_numeric_array(values: Any) -> np.ndarray:
     return arr
 
 
-def _as_categorical_array(values: Any) -> np.ndarray:
-    arr = np.empty(len(values), dtype=object)
-    for i, value in enumerate(values):
-        if value is None:
-            arr[i] = None
-        elif isinstance(value, float) and np.isnan(value):
-            arr[i] = None
-        else:
-            arr[i] = str(value)
-    return arr
+def _as_categorical_column(values: Any) -> CategoricalColumn:
+    """Canonicalise arbitrary values into an encoded column.
+
+    Already-encoded columns are adopted with a fresh codes buffer
+    (tables own their codes; pools are immutable and shared freely).
+    """
+    if isinstance(values, CategoricalColumn):
+        return values.copy()
+    return encode_values(values)
 
 
 class Table:
@@ -41,7 +48,7 @@ class Table:
     :meth:`from_columns` which infers the schema from numpy dtypes.
     """
 
-    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+    def __init__(self, schema: Schema, columns: Mapping[str, Any]):
         if set(columns) != set(schema.names):
             raise ValueError(
                 f"columns {sorted(columns)} do not match schema {list(schema.names)}"
@@ -50,50 +57,72 @@ class Table:
         if len(lengths) > 1:
             raise ValueError(f"ragged columns, lengths: {sorted(lengths)}")
         self._schema = schema
-        self._columns: dict[str, np.ndarray] = {}
+        self._columns: dict[str, np.ndarray | CategoricalColumn] = {}
         for spec in schema.columns:
             values = columns[spec.name]
             if spec.kind is ColumnKind.NUMERIC:
                 self._columns[spec.name] = _as_numeric_array(values)
             else:
-                self._columns[spec.name] = _as_categorical_array(values)
+                self._columns[spec.name] = _as_categorical_column(values)
         self._n_rows = lengths.pop() if lengths else 0
 
     # -- construction --------------------------------------------------
 
     @staticmethod
+    def _from_parts(
+        schema: Schema,
+        columns: dict[str, np.ndarray | CategoricalColumn],
+        n_rows: int,
+    ) -> "Table":
+        """Adopt already-canonical columns without copy or validation.
+
+        Internal fast path for row/column selection: the caller
+        guarantees dtypes, lengths and schema agreement.
+        """
+        table = Table.__new__(Table)
+        table._schema = schema
+        table._columns = columns
+        table._n_rows = n_rows
+        return table
+
+    @staticmethod
     def from_columns(columns: Mapping[str, Any]) -> "Table":
         """Build a table, inferring column kinds.
 
-        Columns with a numeric numpy dtype (or lists of numbers) become
-        numeric; everything else becomes categorical.
+        Columns with a numeric numpy dtype (or lists of numbers)
+        become numeric; :class:`CategoricalColumn` values and
+        everything else become categorical.
         """
         specs = []
-        converted: dict[str, np.ndarray] = {}
+        converted: dict[str, np.ndarray | CategoricalColumn] = {}
         for name, values in columns.items():
+            if isinstance(values, CategoricalColumn):
+                specs.append(ColumnSpec.categorical(name))
+                converted[name] = values.copy()
+                continue
             arr = np.asarray(values)
             if arr.dtype.kind in "fiub":
                 specs.append(ColumnSpec.numeric(name))
                 converted[name] = arr.astype(np.float64)
             else:
                 specs.append(ColumnSpec.categorical(name))
-                converted[name] = _as_categorical_array(list(values))
+                converted[name] = encode_values(values)
         return Table(Schema(tuple(specs)), converted)
 
     @staticmethod
     def from_trusted_columns(
-        schema: Schema, columns: Mapping[str, np.ndarray]
+        schema: Schema, columns: Mapping[str, np.ndarray | CategoricalColumn]
     ) -> "Table":
         """Build a table adopting the given arrays without copying.
 
         A zero-copy constructor for transports that already hold
-        columns in canonical form (numeric: 1-d float64; categorical:
-        1-d object arrays of str/None). The arrays are adopted as-is —
-        including read-only views over shared memory — so the caller
-        must hand over ownership and never mutate them afterwards.
-        Only cheap shape/dtype invariants are checked; per-value
-        conversion (the cost this constructor exists to avoid) is the
-        caller's responsibility.
+        columns in canonical form (numeric: 1-d float64;
+        categorical: :class:`CategoricalColumn` whose int32 codes may
+        be read-only views over shared memory). The arrays are adopted
+        as-is, so the caller must hand over ownership and never mutate
+        them afterwards. Only cheap shape/dtype invariants are
+        checked; per-value conversion (the cost this constructor
+        exists to avoid) is the caller's responsibility.
         """
         if set(columns) != set(schema.names):
             raise ValueError(
@@ -102,35 +131,43 @@ class Table:
         lengths = set()
         for spec in schema.columns:
             arr = columns[spec.name]
-            expected = (
-                np.float64 if spec.kind is ColumnKind.NUMERIC else np.object_
-            )
-            if not isinstance(arr, np.ndarray) or arr.ndim != 1 or arr.dtype != expected:
-                raise ValueError(
-                    f"column {spec.name!r} must be a 1-d {np.dtype(expected)} "
-                    "array for trusted adoption"
-                )
-            lengths.add(arr.shape[0])
+            if spec.kind is ColumnKind.NUMERIC:
+                if (
+                    not isinstance(arr, np.ndarray)
+                    or arr.ndim != 1
+                    or arr.dtype != np.float64
+                ):
+                    raise ValueError(
+                        f"column {spec.name!r} must be a 1-d float64 "
+                        "array for trusted adoption"
+                    )
+            else:
+                if not isinstance(arr, CategoricalColumn):
+                    raise ValueError(
+                        f"column {spec.name!r} must be a CategoricalColumn "
+                        "for trusted adoption"
+                    )
+            lengths.add(len(arr))
         if len(lengths) > 1:
             raise ValueError(f"ragged columns, lengths: {sorted(lengths)}")
-        table = Table.__new__(Table)
-        table._schema = schema
-        table._columns = {spec.name: columns[spec.name] for spec in schema.columns}
-        table._n_rows = lengths.pop() if lengths else 0
-        return table
+        return Table._from_parts(
+            schema,
+            {spec.name: columns[spec.name] for spec in schema.columns},
+            lengths.pop() if lengths else 0,
+        )
 
     @staticmethod
     def empty(schema: Schema) -> "Table":
         """Build a zero-row table with the given schema."""
-        columns = {
+        columns: dict[str, np.ndarray | CategoricalColumn] = {
             spec.name: (
                 np.empty(0, dtype=np.float64)
                 if spec.kind is ColumnKind.NUMERIC
-                else np.empty(0, dtype=object)
+                else CategoricalColumn(np.empty(0, dtype=np.int32), ())
             )
             for spec in schema.columns
         }
-        return Table(schema, columns)
+        return Table._from_parts(schema, columns, 0)
 
     # -- basic accessors -----------------------------------------------
 
@@ -158,16 +195,49 @@ class Table:
         return self._n_rows
 
     def column(self, name: str) -> np.ndarray:
-        """Return a copy of the named column's values."""
-        return self._column_view(name).copy()
+        """Return the named column's values, materialised.
 
-    def _column_view(self, name: str) -> np.ndarray:
+        Numeric columns come back as a float64 copy; categorical
+        columns decode into a fresh object array of ``str | None``.
+        This is the string-materialisation boundary — hot paths should
+        use :meth:`categorical` / :meth:`codes` instead.
+        """
+        stored = self._stored(name)
+        if isinstance(stored, CategoricalColumn):
+            return stored.decode()
+        return stored.copy()
+
+    def _stored(self, name: str) -> np.ndarray | CategoricalColumn:
         """Internal zero-copy access; callers must not mutate the result."""
         if name not in self._schema:
             raise KeyError(
                 f"no column {name!r}; available: {', '.join(self.column_names)}"
             )
         return self._columns[name]
+
+    def _column_view(self, name: str) -> np.ndarray:
+        """Zero-copy view of a numeric column's float64 array."""
+        stored = self._stored(name)
+        if isinstance(stored, CategoricalColumn):
+            raise TypeError(
+                f"column {name!r} is categorical; use categorical()/codes()"
+            )
+        return stored
+
+    def categorical(self, name: str) -> CategoricalColumn:
+        """The named categorical column's encoded form (zero-copy)."""
+        stored = self._stored(name)
+        if not isinstance(stored, CategoricalColumn):
+            raise TypeError(f"column {name!r} is numeric, not categorical")
+        return stored
+
+    def codes(self, name: str) -> np.ndarray:
+        """Copy of the named categorical column's int32 codes."""
+        return self.categorical(name).codes.copy()
+
+    def pool(self, name: str) -> tuple[str, ...]:
+        """The named categorical column's string pool."""
+        return self.categorical(name).pool
 
     def kind_of(self, name: str) -> ColumnKind:
         """Return the kind of the named column."""
@@ -177,7 +247,15 @@ class Table:
         """Return row ``index`` as a dict (numeric NaN / categorical None preserved)."""
         if not -self._n_rows <= index < self._n_rows:
             raise IndexError(f"row {index} out of range for {self._n_rows} rows")
-        return {name: self._columns[name][index] for name in self.column_names}
+        row: dict[str, Any] = {}
+        for name in self.column_names:
+            stored = self._columns[name]
+            if isinstance(stored, CategoricalColumn):
+                code = int(stored.codes[index])
+                row[name] = stored.pool[code] if code >= 0 else None
+            else:
+                row[name] = stored[index]
+        return row
 
     def iter_rows(self) -> Iterable[dict[str, Any]]:
         """Iterate over rows as dicts."""
@@ -188,10 +266,10 @@ class Table:
 
     def is_missing(self, name: str) -> np.ndarray:
         """Boolean mask of missing values in the named column."""
-        values = self._column_view(name)
-        if self.kind_of(name) is ColumnKind.NUMERIC:
-            return np.isnan(values)
-        return np.array([value is None for value in values], dtype=bool)
+        stored = self._stored(name)
+        if isinstance(stored, CategoricalColumn):
+            return stored.missing_mask()
+        return np.isnan(stored)
 
     def missing_mask(self) -> np.ndarray:
         """Boolean row mask: True where the row has any missing value."""
@@ -209,14 +287,23 @@ class Table:
     def select_columns(self, names: Sequence[str]) -> "Table":
         """Return a table with only the given columns, in the given order."""
         schema = self._schema.select(tuple(names))
-        return Table(schema, {name: self._columns[name].copy() for name in names})
+        return Table._from_parts(
+            schema,
+            {name: self._copied(name) for name in schema.names},
+            self._n_rows,
+        )
 
     def drop_columns(self, names: Sequence[str]) -> "Table":
         """Return a table without the given columns."""
         schema = self._schema.without(tuple(names))
-        return Table(
-            schema, {name: self._columns[name].copy() for name in schema.names}
+        return Table._from_parts(
+            schema,
+            {name: self._copied(name) for name in schema.names},
+            self._n_rows,
         )
+
+    def _copied(self, name: str) -> np.ndarray | CategoricalColumn:
+        return self._columns[name].copy()
 
     def mask_rows(self, mask: np.ndarray) -> "Table":
         """Return a table with only the rows where ``mask`` is True."""
@@ -226,18 +313,28 @@ class Table:
                 f"mask must be a boolean array of length {self._n_rows}, "
                 f"got dtype {mask.dtype} shape {mask.shape}"
             )
-        return Table(
-            self._schema,
-            {name: self._columns[name][mask] for name in self.column_names},
-        )
+        columns: dict[str, np.ndarray | CategoricalColumn] = {}
+        for name in self.column_names:
+            stored = self._columns[name]
+            columns[name] = (
+                stored.mask(mask)
+                if isinstance(stored, CategoricalColumn)
+                else stored[mask]
+            )
+        return Table._from_parts(self._schema, columns, int(mask.sum()))
 
     def take_rows(self, indices: np.ndarray) -> "Table":
         """Return a table with the rows at ``indices`` (ordered, may repeat)."""
         indices = np.asarray(indices, dtype=np.intp)
-        return Table(
-            self._schema,
-            {name: self._columns[name][indices] for name in self.column_names},
-        )
+        columns: dict[str, np.ndarray | CategoricalColumn] = {}
+        for name in self.column_names:
+            stored = self._columns[name]
+            columns[name] = (
+                stored.take(indices)
+                if isinstance(stored, CategoricalColumn)
+                else stored[indices]
+            )
+        return Table._from_parts(self._schema, columns, indices.shape[0])
 
     def head(self, n: int = 5) -> "Table":
         """Return the first ``n`` rows."""
@@ -266,9 +363,10 @@ class Table:
 
     def copy(self) -> "Table":
         """Deep-copy the table."""
-        return Table(
+        return Table._from_parts(
             self._schema,
-            {name: self._columns[name].copy() for name in self.column_names},
+            {name: self._copied(name) for name in self.column_names},
+            self._n_rows,
         )
 
     # -- sampling ------------------------------------------------------
@@ -292,20 +390,21 @@ class Table:
 
     def distinct(self, name: str) -> list[str]:
         """Sorted distinct non-missing values of a categorical column."""
-        values = self._column_view(name)
-        if self.kind_of(name) is ColumnKind.NUMERIC:
-            finite = values[~np.isnan(values)]
-            return sorted({str(value) for value in finite})
-        return sorted({value for value in values if value is not None})
+        stored = self._stored(name)
+        if isinstance(stored, CategoricalColumn):
+            return stored.present_values()
+        finite = stored[~np.isnan(stored)]
+        return sorted({str(value) for value in finite})
 
     def value_counts(self, name: str) -> dict[str, int]:
         """Counts of non-missing values of a categorical column."""
-        counts: dict[str, int] = {}
-        for value in self._column_view(name):
-            if value is None:
-                continue
-            counts[value] = counts.get(value, 0) + 1
-        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+        column = self.categorical(name)
+        counts = column.counts()
+        present = [
+            (column.pool[int(i)], int(counts[i]))
+            for i in np.nonzero(counts)[0]
+        ]
+        return dict(sorted(present, key=lambda kv: (-kv[1], kv[0])))
 
     # -- dunder / display ------------------------------------------------
 
@@ -316,11 +415,12 @@ class Table:
             return False
         for name in self.column_names:
             ours, theirs = self._columns[name], other._columns[name]
-            if self.kind_of(name) is ColumnKind.NUMERIC:
-                if not np.array_equal(ours, theirs, equal_nan=True):
+            if isinstance(ours, CategoricalColumn):
+                assert isinstance(theirs, CategoricalColumn)
+                if not ours.values_equal(theirs):
                     return False
             else:
-                if not all(a == b for a, b in zip(ours, theirs)):
+                if not np.array_equal(ours, theirs, equal_nan=True):
                     return False
         return True
 

@@ -79,25 +79,29 @@ def knn_shapley(
     train_sq = np.sum(X_train**2, axis=1)
     chunk_rows = max(1, _CHUNK_TARGET_CELLS // max(1, n))
     positions = np.arange(1, n, dtype=np.float64)  # i = 1..n-1 (1-based i of s[i+1])
+    min_k_positions = np.minimum(k, positions)
     for start in range(0, X_test.shape[0], chunk_rows):
         chunk = X_test[start : start + chunk_rows]
         chunk_labels = y_test[start : start + chunk_rows]
         distances = train_sq[None, :] - 2.0 * (chunk @ X_train.T)
         order = np.argsort(distances, axis=1, kind="mergesort")
-        for row in range(chunk.shape[0]):
-            sigma = order[row]
-            match = (y_train[sigma] == chunk_labels[row]).astype(np.float64)
-            s = np.empty(n, dtype=np.float64)
-            s[n - 1] = match[n - 1] / n
-            if n > 1:
-                # vectorised backward recursion via cumulative sum:
-                # s[i] = s[i+1] + (match[i] - match[i+1])/k * min(k, i)/i
-                deltas = (
-                    (match[:-1] - match[1:])
-                    / k
-                    * np.minimum(k, positions)
-                    / positions
-                )
-                s[:-1] = s[n - 1] + np.cumsum(deltas[::-1])[::-1]
-            values[sigma] += s
+        # batched backward recursion: every test row in the chunk at once
+        match = (y_train[order] == chunk_labels[:, None]).astype(np.float64)
+        s = np.empty_like(match)
+        s[:, n - 1] = match[:, n - 1] / n
+        if n > 1:
+            # s[i] = s[i+1] + (match[i] - match[i+1])/k * min(k, i)/i,
+            # unrolled per row via a reversed cumulative sum; the
+            # in-place steps replay the scalar op sequence exactly
+            deltas = match[:, :-1] - match[:, 1:]
+            deltas /= k
+            deltas *= min_k_positions
+            deltas /= positions
+            np.cumsum(deltas[:, ::-1], axis=1, out=deltas[:, ::-1])
+            s[:, :-1] = s[:, n - 1 : n] + deltas
+        # scatter-add row by row in element order: each row's sigma is a
+        # permutation, so per test row every training point receives
+        # exactly one contribution — the same accumulation order (and
+        # hence the same floating-point result) as the per-row loop
+        np.add.at(values, order, s)
     return values / X_test.shape[0]

@@ -61,7 +61,7 @@ def test_missing_values_survive_the_roundtrip():
     try:
         attached, handles = attach_table(ref)
         assert np.isnan(attached._column_view("x")[1])
-        assert attached._column_view("cat")[1] is None
+        assert attached.column("cat")[1] is None
         assert attached == table
     finally:
         unlink_segments(segments)
@@ -81,6 +81,23 @@ def test_numeric_columns_attach_zero_copy():
         # all numeric columns share one block (hence one segment)
         credit = attached._column_view("credit")
         assert age.base is credit.base
+    finally:
+        unlink_segments(segments)
+
+
+@pytest.mark.shm
+def test_categorical_columns_attach_zero_copy():
+    """Attached categorical codes are read-only views into the codes
+    segment — no decode/re-encode happened on either side."""
+    table = make_table()
+    ref, segments = publish_table(table)
+    try:
+        attached, handles = attach_table(ref)
+        codes = attached.categorical("sex").codes
+        assert codes.base is not None, "expected a view, got an owning array"
+        assert not codes.flags.writeable
+        assert codes.dtype == np.int32
+        assert attached.categorical("sex").pool == table.categorical("sex").pool
     finally:
         unlink_segments(segments)
 

@@ -10,9 +10,28 @@ work. They are collected but skipped by default; opt in with::
 
 The one-configuration smoke test in ``tests/identity`` is unmarked and
 always runs, so tier-1 still exercises the byte-identity contract.
+
+The ``scale``-marked tests (``tests/scale``) exercise the
+dictionary-encoded data plane at 100k+ rows — minutes, not seconds —
+and are gated the same way::
+
+    pytest --scale                    # whole suite + scale tests
+    pytest -m scale                   # the scale tests alone
 """
 
 import pytest
+
+#: marker name -> (opt-in flag, skip reason)
+_GATED_MARKERS = {
+    "identity": (
+        "--identity-full",
+        "full identity matrix; opt in with --identity-full or -m identity",
+    ),
+    "scale": (
+        "--scale",
+        "100k-row scale tests; opt in with --scale or -m scale",
+    ),
+}
 
 
 def pytest_addoption(parser):
@@ -23,16 +42,20 @@ def pytest_addoption(parser):
         help="run the full incremental-identity differential matrix "
         "(every backend x transport x error type; nightly-scale)",
     )
+    parser.addoption(
+        "--scale",
+        action="store_true",
+        default=False,
+        help="run the 100k-row-plus scale tests of the encoded data plane",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--identity-full"):
-        return
-    if "identity" in (config.getoption("markexpr", "") or ""):
-        return
-    skip = pytest.mark.skip(
-        reason="full identity matrix; opt in with --identity-full or -m identity"
-    )
-    for item in items:
-        if item.get_closest_marker("identity") is not None:
-            item.add_marker(skip)
+    markexpr = config.getoption("markexpr", "") or ""
+    for marker, (flag, reason) in _GATED_MARKERS.items():
+        if config.getoption(flag) or marker in markexpr:
+            continue
+        skip = pytest.mark.skip(reason=reason)
+        for item in items:
+            if item.get_closest_marker(marker) is not None:
+                item.add_marker(skip)

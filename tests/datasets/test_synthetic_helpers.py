@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import synthetic as syn
+from repro.tabular import CategoricalColumn
 
 
 def rng():
@@ -26,13 +27,25 @@ def test_sigmoid_extreme_values_stable():
 
 def test_categorical_respects_probabilities():
     values = syn.categorical(rng(), 20_000, ["a", "b"], [0.8, 0.2])
-    share_a = np.mean([v == "a" for v in values])
+    share_a = values.eq("a").mean()
     assert 0.77 < share_a < 0.83
+
+
+def test_categorical_returns_encoded_column():
+    values = syn.categorical(rng(), 100, ["a", "b"], [0.5, 0.5])
+    assert isinstance(values, CategoricalColumn)
+    assert values.pool == ("a", "b")
+    assert values.codes.dtype == np.int32
 
 
 def test_categorical_normalises_weights():
     values = syn.categorical(rng(), 1_000, ["a", "b"], [8, 2])
-    assert set(values) == {"a", "b"}
+    assert set(values.decode()) == {"a", "b"}
+
+
+def test_take_categories_wraps_indices():
+    column = syn.take_categories(np.array([2, 0, 1]), ["x", "y", "z"])
+    assert list(column.decode()) == ["z", "x", "y"]
 
 
 def test_clipped_normal_bounds():
@@ -70,6 +83,18 @@ def test_inject_missing_categorical_per_row_probability():
     result = syn.inject_missing_categorical(rng(), values, probability)
     assert all(value is None for value in result[:5_000])
     assert all(value == "x" for value in result[5_000:])
+
+
+def test_inject_missing_categorical_encoded_matches_object_path():
+    probability = np.full(10_000, 0.3)
+    objects = np.array(["x"] * 10_000, dtype=object)
+    encoded = syn.take_categories(np.zeros(10_000, dtype=np.int32), ["x"])
+    object_result = syn.inject_missing_categorical(rng(), objects, probability)
+    encoded_result = syn.inject_missing_categorical(rng(), encoded, probability)
+    assert isinstance(encoded_result, CategoricalColumn)
+    assert list(encoded_result.decode()) == list(object_result)
+    # the input column is never mutated
+    assert not encoded.missing_mask().any()
 
 
 def test_flip_labels_rate():

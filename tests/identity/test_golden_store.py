@@ -1,0 +1,38 @@
+"""Cross-version byte-identity against a checked-in golden store.
+
+The differential tests in this package compare two runs of the *same*
+code. This test pins the store bytes against a fixture captured with
+the pre-dictionary-encoding object-array representation (PR 8), so a
+representation change that shifted values, category order, mode
+tie-breaks, or shard layout — even one that is internally consistent —
+fails loudly. Regenerate the fixture only for an *intentional* output
+change, by running the snippet in ``tests/identity/golden/``'s history:
+one ``chaos_config()`` german/mislabels slice saved via
+``ResultStore``.
+"""
+
+from pathlib import Path
+
+from repro.benchmark import ExperimentRunner, ResultStore
+from repro.testing.fixtures import chaos_config, store_fingerprint
+
+GOLDEN = Path(__file__).parent / "golden" / "study.json"
+
+
+def test_store_bytes_match_pre_encoding_golden(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    runner = ExperimentRunner(chaos_config(), store)
+    runner.run_dataset_error("german", "mislabels")
+    store.save()
+
+    actual = store_fingerprint(tmp_path / "study.json")
+    golden = store_fingerprint(GOLDEN)
+    assert actual.keys() == golden.keys(), (
+        f"shard layout diverged from golden: "
+        f"{sorted(actual)} != {sorted(golden)}"
+    )
+    diverged = [name for name in golden if actual[name] != golden[name]]
+    assert not diverged, (
+        f"store bytes diverged from the pre-encoding golden in {diverged}; "
+        "the dictionary-encoded data plane must be byte-invisible"
+    )

@@ -75,3 +75,43 @@ def test_small_dataset_does_not_crash():
     X = np.array([[0.0], [1.0], [2.0]])
     forest = IsolationForest(n_estimators=5, contamination=0.3, random_state=0).fit(X)
     assert forest.score_samples(X).shape == (3,)
+
+
+def test_flat_walk_matches_recursive_reference():
+    """The struct-of-arrays traversal must be bit-identical to a
+    pointer-chasing recursive descent of the same trees."""
+    from repro.ml.isolation import (
+        IsolationForest as Forest,
+        _average_path_length,
+        _build_itree,
+    )
+
+    def recursive_path_lengths(node, X, rows, depth, out):
+        if node.is_leaf:
+            out[rows] = depth + _average_path_length(node.size)
+            return
+        goes_left = X[rows, node.feature] < node.threshold
+        recursive_path_lengths(node.left, X, rows[goes_left], depth + 1, out)
+        recursive_path_lengths(node.right, X, rows[~goes_left], depth + 1, out)
+
+    X, __ = make_data_with_outliers(n=400, seed=7)
+    n_trees, sub, seed = 15, 64, 11
+    forest = Forest(
+        n_estimators=n_trees, max_samples=sub, random_state=seed
+    ).fit(X)
+
+    # replay the fit's RNG stream to rebuild the same node trees
+    rng = np.random.default_rng(seed)
+    max_depth = int(np.ceil(np.log2(sub)))
+    depths = np.zeros(len(X))
+    buffer = np.empty(len(X))
+    rows = np.arange(len(X))
+    for __ in range(n_trees):
+        pick = rng.choice(len(X), size=sub, replace=False)
+        tree = _build_itree(X[pick], 0, max_depth, rng)
+        recursive_path_lengths(tree, X, rows, 0, buffer)
+        depths += buffer
+    reference = np.power(
+        2.0, -(depths / n_trees) / max(_average_path_length(sub), 1e-12)
+    )
+    assert np.array_equal(forest.score_samples(X), reference)

@@ -1,0 +1,69 @@
+"""100k-row exercises of the dictionary-encoded data plane.
+
+Gated behind the ``scale`` marker (``pytest --scale`` or ``-m scale``;
+see ``tests/conftest.py``) because each test touches hundreds of
+thousands of rows — minutes of work in aggregate, not tier-1 material.
+The assertions mirror the tier-1 identity contract at size: whatever
+the codes-native fast paths compute must match a per-value reference
+on real generated data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.repair import CategoricalImputation, MissingValueRepair
+from repro.datasets import load_dataset
+from repro.ml.featurize import TabularFeaturizer
+from repro.ml.preprocessing import OneHotEncoder
+from repro.tabular import encode_values
+
+pytestmark = pytest.mark.scale
+
+N_ROWS = 100_000
+
+
+@pytest.fixture(scope="module")
+def adult_100k():
+    __, table = load_dataset("adult", N_ROWS, seed=0)
+    return table
+
+
+def test_generators_produce_encoded_columns_at_scale(adult_100k):
+    column = adult_100k.categorical("occupation")
+    assert column.codes.dtype == np.int32
+    assert len(column) == N_ROWS
+    # decode round-trips through the object representation
+    assert encode_values(column.decode()).values_equal(column)
+
+
+def test_mode_imputation_matches_per_cell_reference(adult_100k):
+    repair = MissingValueRepair(categorical=CategoricalImputation.MODE)
+    repaired = repair.fit_transform(adult_100k)
+    for name in ("workclass", "occupation", "native_country"):
+        values = adult_100k.column(name)
+        present = [v for v in values if v is not None]
+        counts = {}
+        for v in present:
+            counts[v] = counts.get(v, 0) + 1
+        mode = max(sorted(counts), key=lambda k: counts[k])
+        expected = [mode if v is None else v for v in values]
+        assert list(repaired.column(name)) == expected
+
+
+def test_one_hot_from_codes_matches_object_encoding(adult_100k):
+    names = ("workclass", "occupation", "sex", "race")
+    encoded_cols = [adult_100k.categorical(name) for name in names]
+    object_cols = [adult_100k.column(name) for name in names]
+    from_codes = OneHotEncoder().fit(encoded_cols)
+    from_objects = OneHotEncoder().fit(object_cols)
+    assert from_codes.categories_ == from_objects.categories_
+    assert np.array_equal(
+        from_codes.transform(encoded_cols), from_objects.transform(object_cols)
+    )
+
+
+def test_featurize_after_repair_is_finite_at_scale(adult_100k):
+    repaired = MissingValueRepair().fit_transform(adult_100k)
+    matrix = TabularFeaturizer().fit_transform(repaired)
+    assert matrix.shape[0] == N_ROWS
+    assert np.isfinite(matrix).all()

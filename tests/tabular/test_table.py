@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tabular import ColumnKind, ColumnSpec, Schema, Table
+from repro.tabular import ColumnKind, ColumnSpec, Schema, Table, encode_values
 
 
 def make_table():
@@ -224,8 +224,16 @@ def test_from_trusted_columns_rejects_ragged_and_mismatched():
     schema = Schema.of(ColumnSpec.numeric("x"), ColumnSpec.categorical("y"))
     with pytest.raises(ValueError, match="do not match schema"):
         Table.from_trusted_columns(schema, {"x": np.zeros(2)})
+    with pytest.raises(ValueError, match="CategoricalColumn"):
+        Table.from_trusted_columns(
+            schema,
+            {"x": np.zeros(2), "y": np.array(["a", "b"], dtype=object)},
+        )
     with pytest.raises(ValueError, match="ragged"):
         Table.from_trusted_columns(
             schema,
-            {"x": np.zeros(2), "y": np.array(["a", "b", "c"], dtype=object)},
+            {
+                "x": np.zeros(2),
+                "y": encode_values(np.array(["a", "b", "c"], dtype=object)),
+            },
         )
