@@ -7,7 +7,10 @@ Subcommands::
     python -m repro study --error-type TYPE --store PATH [options]
     python -m repro tables --store PATH           # Tables II-XIII + XIV
     python -m repro store-migrate STORE           # legacy -> sharded layout
-    python -m repro obs-report STORE              # run-health summary
+    python -m repro obs-report STORE [--json]     # run-health summary
+    python -m repro monitor STORE                 # tail an in-flight run
+    python -m repro obs-export STORE              # Perfetto-viewable trace
+    python -m repro obs-diff STORE_A STORE_B      # cross-run regression diff
 """
 
 from __future__ import annotations
@@ -107,11 +110,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if args.error_type
         else ["missing_values", "outliers", "mislabels"]
     )
+    # memory profiling records into the trace sidecars, so it implies
+    # tracing rather than erroring on the missing flag
+    trace = args.trace or args.profile_memory
     fault_flags = (
         args.max_retries is not None
         or args.cell_timeout is not None
         or args.fsync_journal
-        or args.trace
+        or trace
     )
     if config.workers > 1 or fault_flags or args.backend != "process":
         from repro.benchmark import ExecutorOptions, run_parallel_study
@@ -122,7 +128,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
             max_retries=2 if args.max_retries is None else args.max_retries,
             cell_timeout=args.cell_timeout,
             fsync_journal=args.fsync_journal,
-            trace=args.trace,
+            trace=trace,
+            profile_memory=args.profile_memory,
         )
         total = run_parallel_study(
             config,
@@ -241,6 +248,8 @@ def _cmd_store_migrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs import render_health_report
 
     store = ResultStore(args.store)
@@ -252,8 +261,88 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         )
         return 1
     health = store.health()
-    print(render_health_report(health, top=args.top))
+    if args.json:
+        print(json.dumps(health.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_health_report(health, top=args.top))
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import monitor_run, scan_run
+    from repro.obs.progress import trace_files
+
+    if not trace_files(args.store):
+        print(
+            f"no trace data next to {args.store}; launch the run with "
+            "`python -m repro study --trace` to monitor it"
+        )
+        return 1
+    if args.json:
+        snapshot = scan_run(args.store, stall_after=args.stall_after)
+        print(json.dumps(snapshot.to_json(), indent=2, sort_keys=True))
+        return 0
+    snapshot = monitor_run(
+        args.store,
+        interval=args.interval,
+        stall_after=args.stall_after,
+        once=args.once,
+    )
+    return 0 if snapshot.complete or args.once else 1
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import export_trace
+    from repro.obs.progress import trace_files
+
+    paths = trace_files(args.store)
+    if not paths:
+        print(
+            f"no trace data next to {args.store}; run "
+            "`python -m repro study --trace` first"
+        )
+        return 1
+    output = (
+        args.output
+        if args.output
+        else str(Path(args.store).with_suffix("")) + ".trace.chrome.json"
+    )
+    n_events = export_trace(paths, output, format=args.format)
+    print(
+        f"wrote {n_events} trace events to {output} "
+        "(open in ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import diff_stores, render_diff
+    from repro.obs.progress import trace_files
+
+    paths_a = trace_files(args.store_a)
+    paths_b = trace_files(args.store_b)
+    for label, paths in (("A", paths_a), ("B", paths_b)):
+        if not paths:
+            store = args.store_a if label == "A" else args.store_b
+            print(f"no trace data next to run {label} ({store})")
+            return 1
+    diff = diff_stores(
+        paths_a,
+        paths_b,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    if args.json:
+        print(json.dumps(diff.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, all_entries=args.all))
+    return 1 if args.fail_on_regression and diff.flagged else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -338,7 +427,15 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=False,
         help="write structured trace/metric events to a {store}.trace.jsonl "
-        "sidecar (results stay byte-identical; view with `obs-report`)",
+        "sidecar (results stay byte-identical; view with `obs-report`, "
+        "tail live with `monitor`, export with `obs-export`)",
+    )
+    study.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="sample tracemalloc deltas + RSS at unit/cell/featurize span "
+        "boundaries (implies --trace; slower — tracemalloc instruments "
+        "every allocation; results stay byte-identical)",
     )
     study.set_defaults(func=_cmd_study)
 
@@ -377,7 +474,98 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="number of slowest cells to list (default 10)",
     )
+    obs_report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the RunHealth summary as JSON instead of plain text",
+    )
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="tail an in-flight traced run read-only: progress, ETA, "
+        "per-configuration throughput, stalled-worker detection",
+    )
+    monitor.add_argument("store", help="result-store path the run was launched with")
+    monitor.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    monitor.add_argument(
+        "--stall-after",
+        type=_positive_float,
+        default=60.0,
+        help="heartbeat age in seconds after which a worker is reported "
+        "stalled (default 60)",
+    )
+    monitor.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot and exit instead of polling",
+    )
+    monitor.add_argument(
+        "--json",
+        action="store_true",
+        help="print one snapshot as JSON and exit (implies --once)",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
+
+    obs_export = sub.add_parser(
+        "obs-export",
+        help="convert trace sidecars to Chrome Trace Event Format "
+        "(viewable in Perfetto / chrome://tracing / speedscope)",
+    )
+    obs_export.add_argument("store", help="result-store path of a traced run")
+    obs_export.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="export format (default chrome)",
+    )
+    obs_export.add_argument(
+        "--output",
+        help="output path (default {store}.trace.chrome.json)",
+    )
+    obs_export.set_defaults(func=_cmd_obs_export)
+
+    obs_diff = sub.add_parser(
+        "obs-diff",
+        help="compare two traced runs: span-duration distributions, metric "
+        "counters and cache/reuse hit rates, with noise-aware thresholds",
+    )
+    obs_diff.add_argument("store_a", help="baseline run's store path")
+    obs_diff.add_argument("store_b", help="candidate run's store path")
+    obs_diff.add_argument(
+        "--threshold",
+        type=_positive_float,
+        default=0.10,
+        help="relative change required to flag a quantity (default 0.10)",
+    )
+    obs_diff.add_argument(
+        "--min-seconds",
+        type=_positive_float,
+        default=0.005,
+        help="absolute span-duration change floor in seconds under which "
+        "differences count as noise (default 0.005)",
+    )
+    obs_diff.add_argument(
+        "--all",
+        action="store_true",
+        help="print every compared quantity, not only flagged ones",
+    )
+    obs_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="print the diff as JSON instead of plain text",
+    )
+    obs_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any quantity is flagged (CI gate)",
+    )
+    obs_diff.set_defaults(func=_cmd_obs_diff)
     return parser
 
 

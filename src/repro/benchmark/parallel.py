@@ -73,6 +73,7 @@ from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
+from repro.obs.profile import profile_memory
 from repro.benchmark.config import StudyConfig
 from repro.benchmark.results import JournalWriter, ResultStore, RunRecord
 from repro.benchmark.runner import ERROR_TYPES, Cell, ExperimentRunner
@@ -278,6 +279,12 @@ class ExecutorOptions:
             ``{stem}.trace.w{pid}.jsonl``, compacted into the parent
             shard by :meth:`ResultStore.save`. Study results are
             byte-identical with tracing on or off.
+        profile_memory: Sample memory telemetry (tracemalloc deltas +
+            RSS gauges, see :mod:`repro.obs.profile`) at the
+            unit/cell/featurize span boundaries. Requires ``trace``
+            (the samples land in the trace sidecars); meaningfully
+            slower than plain tracing because tracemalloc instruments
+            every allocation. Results stay byte-identical.
     """
 
     backend: str = "process"
@@ -291,6 +298,7 @@ class ExecutorOptions:
     fault_plan: Any = None
     abort_after_units: int | None = None
     trace: bool = False
+    profile_memory: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -312,6 +320,11 @@ class ExecutorOptions:
         if self.abort_after_units is not None and self.abort_after_units < 1:
             raise ValueError(
                 f"abort_after_units must be >= 1, got {self.abort_after_units}"
+            )
+        if self.profile_memory and not self.trace:
+            raise ValueError(
+                "profile_memory requires trace (memory samples are "
+                "recorded in the trace sidecars)"
             )
 
 
@@ -528,7 +541,18 @@ def _run_unit(task: _Task) -> list[dict[str, Any]]:
         and threading.current_thread() is threading.main_thread()
         else nullcontext()
     )
-    with trace_scope:
+    # memory profiling is process-global like the tracer; the parent
+    # enables it around the whole run (covering thread/serial workers
+    # and fork-started pool children), and this per-unit scope covers
+    # spawn-started workers that inherited nothing. Idempotent.
+    profile_scope = (
+        profile_memory()
+        if options.profile_memory
+        and options.trace
+        and threading.current_thread() is threading.main_thread()
+        else nullcontext()
+    )
+    with trace_scope, profile_scope:
         return _run_unit_traced(task)
 
 
@@ -731,6 +755,15 @@ def run_parallel_study(
         merged_units += 1
         obs.counter("units_merged")
         obs.counter("records_merged", merged)
+        # flushed so an in-flight monitor sees the merge frontier move
+        obs.event(
+            "unit_merged",
+            dataset=unit.dataset,
+            error_type=unit.error_type,
+            repetition=unit.repetition,
+            records=merged,
+        )
+        obs.flush()
         if progress is not None:
             progress(
                 f"{unit.dataset}/{unit.error_type}/rep{unit.repetition}: "
@@ -756,13 +789,14 @@ def run_parallel_study(
         replanned = _replan_unit(config, store, unit)
         if replanned is None:
             obs.event(
-                "recovered",
+                "recovered",  # flushed below: monitors track fault tallies live
                 dataset=unit.dataset,
                 error_type=unit.error_type,
                 repetition=unit.repetition,
                 attempt=attempt,
                 error=error,
             )
+            obs.flush()
             if progress is not None:
                 progress(f"{label}: recovered from journal after {error}")
             return None
@@ -785,6 +819,7 @@ def run_parallel_study(
                 attempts=attempt,
                 error=error,
             )
+            obs.flush()
             if progress is not None:
                 progress(f"{label}: poisoned after {attempt} attempt(s): {error}")
             return None
@@ -796,6 +831,7 @@ def run_parallel_study(
             attempt=attempt,
             error=error,
         )
+        obs.flush()
         if progress is not None:
             progress(
                 f"{label}: retry {attempt}/{options.max_retries} after {error}"
@@ -851,8 +887,11 @@ def run_parallel_study(
         if options.trace and journal_prefix is not None
         else nullcontext()
     )
+    profile_scope = (
+        profile_memory() if options.profile_memory and options.trace else nullcontext()
+    )
     try:
-        with trace_scope:
+        with trace_scope, profile_scope:
             obs.event(
                 "planned",
                 units=len(units),
@@ -861,6 +900,9 @@ def run_parallel_study(
                 backend=options.backend,
                 transport=transport,
             )
+            # flushed immediately: the planned totals are the monitor's
+            # denominator and must be visible before any unit finishes
+            obs.flush()
             if in_process:
                 run_rounds(lambda tasks: map(_execute_unit, tasks))
             elif options.backend == "thread":

@@ -495,12 +495,17 @@ class ResultStore:
     def compact_trace(self) -> int:
         """Fold worker trace shards into the single ``trace.jsonl``.
 
-        Mirrors the record-journal compaction in :meth:`save`: span and
-        point events are concatenated in shard order, ``metric`` events
-        are merged deterministically (counters and histogram buckets
-        sum — histogram boundaries are fixed, see
-        :mod:`repro.obs.metrics`) and appended last, the result is
-        written atomically, and the worker shards are removed. Returns
+        Mirrors the record-journal compaction in :meth:`save`: the
+        parent's own span and point events keep their emission order,
+        shard-origin events are appended after them in **sorted line
+        order**, and ``metric`` events are merged deterministically
+        (counters and histogram buckets sum, gauges take the maximum —
+        see :mod:`repro.obs.metrics`) and appended last; the result is
+        written atomically and the worker shards are removed. Sorting
+        the shard lines — rather than concatenating in shard-file
+        order — makes the output byte-identical under any permutation
+        of shard file names, which matters for the thread backend
+        whose ``w{pid}.t{tid}`` shard names vary run to run. Returns
         the number of events in the compacted file (0 when there is
         nothing to compact). A no-op when no worker shards exist, so
         repeated saves leave a compacted trace untouched.
@@ -514,15 +519,25 @@ class ResultStore:
             return 0
         from repro.obs import merge_metric_events, read_trace_events
 
-        events = read_trace_events(([main] if main.exists() else []) + shards)
+        main_events = read_trace_events([main] if main.exists() else [])
+        shard_events = read_trace_events(shards)
         metric_events = [
-            event for event in events if event.get("kind") == "metric"
+            event
+            for event in main_events + shard_events
+            if event.get("kind") == "metric"
         ]
         lines = [
             json.dumps(event, sort_keys=True, separators=(",", ":"))
-            for event in events
+            for event in main_events
             if event.get("kind") != "metric"
         ]
+        lines.extend(
+            sorted(
+                json.dumps(event, sort_keys=True, separators=(",", ":"))
+                for event in shard_events
+                if event.get("kind") != "metric"
+            )
+        )
         for merged in merge_metric_events(metric_events):
             lines.append(
                 json.dumps(

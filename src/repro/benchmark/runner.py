@@ -219,6 +219,7 @@ class ExperimentRunner:
             dataset=definition.name, error_type=error_type, repetition=repetition
         )
         with obs.span("unit", n_cells=len(cells), **coords):
+            obs.heartbeat(phase="unit_start", n_cells=len(cells), **coords)
             with obs.span("prepare", **coords):
                 versions = self._prepare_versions(
                     definition, table, error_type, repetition
@@ -240,6 +241,9 @@ class ExperimentRunner:
                         if cell_guard is None
                         else cell_guard(index, model_name, seed)
                     )
+                    obs.heartbeat(
+                        phase="cell_start", model=model_name, seed=seed, **coords
+                    )
                     with guard, obs.span(
                         "cell", model=model_name, seed=seed, **coords
                     ) as cell_span:
@@ -259,6 +263,15 @@ class ExperimentRunner:
                             cell_span.set(warm_started=True)
                             obs.counter("cells_warm_started")
                         added += cell_added
+                    # after the span closed: seconds is final, and the
+                    # flush makes the finished cell visible to monitors
+                    obs.heartbeat(
+                        phase="cell_done",
+                        model=model_name,
+                        seed=seed,
+                        seconds=cell_span.seconds if cell_span is not obs.NOOP_SPAN else 0.0,
+                        **coords,
+                    )
         return added
 
     def run_full_study(self, progress=None, workers: int | None = None) -> int:

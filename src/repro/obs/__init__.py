@@ -13,6 +13,16 @@ to this reproduction):
 - :mod:`repro.obs.report` — folds ``trace.jsonl`` + ``failures.jsonl``
   into a :class:`RunHealth` summary and renders the plain-text
   ``python -m repro obs-report`` view.
+- :mod:`repro.obs.progress` — read-only in-flight monitoring from the
+  sidecars a live run is already writing (heartbeats, journal shards,
+  the manifest): ``python -m repro monitor``.
+- :mod:`repro.obs.export` — Chrome Trace Event Format export for
+  Perfetto / speedscope: ``python -m repro obs-export``.
+- :mod:`repro.obs.profile` — opt-in memory telemetry (tracemalloc
+  deltas + RSS gauges at hot-path span boundaries), behind
+  ``--profile-memory``.
+- :mod:`repro.obs.diff` — noise-aware cross-run regression diffs over
+  trace sidecars: ``python -m repro obs-diff``.
 
 Instrumentation is threaded through the hot layers (experiment
 runner, parallel executor, grid search, cleaning detectors/repairers,
@@ -22,10 +32,38 @@ byte-identical with tracing on or off — trace events live in sidecar
 shards (``{stem}.trace*.jsonl``) that never touch the result store.
 """
 
+from repro.obs.diff import (
+    DiffEntry,
+    RunDiff,
+    diff_runs,
+    diff_stores,
+    render_diff,
+    span_stats,
+)
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    export_trace,
+    to_chrome_trace,
+)
 from repro.obs.metrics import (
     DURATION_BUCKETS,
     MetricsRegistry,
     merge_metric_events,
+)
+from repro.obs.profile import (
+    HOT_SPANS,
+    disable_memory_profiling,
+    enable_memory_profiling,
+    memory_profiling_enabled,
+    profile_memory,
+    rss_bytes,
+)
+from repro.obs.progress import (
+    ProgressSnapshot,
+    WorkerStatus,
+    monitor_run,
+    render_progress,
+    scan_run,
 )
 from repro.obs.report import (
     RunHealth,
@@ -47,17 +85,41 @@ from repro.obs.trace import (
     flush,
     gauge,
     get_tracer,
+    heartbeat,
     histogram,
+    install_span_hooks,
     is_enabled,
     scoped,
     shutdown,
     span,
+    track_id,
+    uninstall_span_hooks,
 )
 
 __all__ = [
+    "DiffEntry",
+    "RunDiff",
+    "diff_runs",
+    "diff_stores",
+    "render_diff",
+    "span_stats",
+    "EXPORT_FORMATS",
+    "export_trace",
+    "to_chrome_trace",
     "DURATION_BUCKETS",
     "MetricsRegistry",
     "merge_metric_events",
+    "HOT_SPANS",
+    "disable_memory_profiling",
+    "enable_memory_profiling",
+    "memory_profiling_enabled",
+    "profile_memory",
+    "rss_bytes",
+    "ProgressSnapshot",
+    "WorkerStatus",
+    "monitor_run",
+    "render_progress",
+    "scan_run",
     "RunHealth",
     "build_health",
     "load_health",
@@ -75,9 +137,13 @@ __all__ = [
     "flush",
     "gauge",
     "get_tracer",
+    "heartbeat",
     "histogram",
+    "install_span_hooks",
     "is_enabled",
     "scoped",
     "shutdown",
     "span",
+    "track_id",
+    "uninstall_span_hooks",
 ]

@@ -5,10 +5,16 @@ keyed by ``(name, sorted labels)``, histograms use **fixed bucket
 boundaries** (:data:`DURATION_BUCKETS` by default), and every snapshot
 serialises to a flat JSON payload. Two snapshots of the same metric —
 e.g. from two worker-process trace shards — therefore merge
-deterministically: counters and histogram bucket counts sum, gauges
-keep the last value in shard order (see :func:`merge_metric_events`,
+**permutation-invariantly**: counters and histogram bucket counts sum
+(commutative), and gauges keep the *maximum* value across snapshots —
+the meaningful aggregate for the RSS/peak gauges the memory profiler
+emits, and the only order-free choice when shard file names (and thus
+read order) vary across backends (see :func:`merge_metric_events`,
 which :meth:`repro.benchmark.ResultStore.compact_trace` applies when
-folding worker shards into the run's ``trace.jsonl``).
+folding worker shards into the run's ``trace.jsonl``). Within one
+live registry a gauge still has last-write-wins semantics; a gauge
+needing per-writer last values should carry a distinguishing label
+(e.g. ``worker=w{pid}``).
 """
 
 from __future__ import annotations
@@ -145,13 +151,17 @@ def _bucket_index(buckets: tuple[float, ...], value: float) -> int:
 
 
 def merge_metric_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Deterministically merge ``metric`` trace events.
+    """Merge ``metric`` trace events, invariantly under permutation.
 
     Counters with the same (name, labels) sum; histograms sum
     bucket-wise (boundaries must match — the registry pins them);
-    gauges keep the last value in input order. The merged list is
-    sorted by (type, name, labels), so merging the same shards in the
-    same order always produces the same output.
+    gauges keep the **maximum** value across events. All three folds
+    are commutative and associative, and the merged list is sorted by
+    (type, name, labels) — so merging the same events in *any* order
+    (worker shards read under any file-name permutation) produces the
+    same output, which is what pins
+    :meth:`repro.benchmark.ResultStore.compact_trace` byte-identical
+    across backends whose shard names differ.
     """
     registry = MetricsRegistry()
     for event in events:
@@ -160,7 +170,18 @@ def merge_metric_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]
         if kind == "counter":
             registry.counter(event["name"], event["value"], **labels)
         elif kind == "gauge":
-            registry.gauge(event["name"], event["value"], **labels)
+            key = (event["name"], _label_key(labels))
+            value = float(event["value"])
+            previous = registry._gauges.get(key)
+            # NaN-ignoring max: plain max() keeps whichever NaN comes
+            # first, which would break permutation invariance
+            if previous is None or math.isnan(previous):
+                merged_value = value
+            elif math.isnan(value):
+                merged_value = previous
+            else:
+                merged_value = max(previous, value)
+            registry._gauges[key] = merged_value
         elif kind == "histogram":
             key = (event["name"], _label_key(labels))
             state = registry._histograms.get(key)

@@ -1,0 +1,136 @@
+"""Opt-in memory telemetry at span boundaries.
+
+Tracing timings is nearly free; tracing *memory* is not —
+``tracemalloc`` instruments every allocation while started, typically
+costing tens of percent of wall clock. Memory profiling is therefore a
+separate opt-in (``python -m repro study --trace --profile-memory``)
+layered on top of the tracer via the span hooks in
+:mod:`repro.obs.trace`:
+
+- On entry to a **hot-path span** (:data:`HOT_SPANS`: the runner's
+  ``unit`` / ``cell`` / ``featurize`` sections) the current traced
+  allocation size is sampled.
+- On exit the span gains ``mem_delta_bytes`` (net Python allocations
+  across the span, via ``tracemalloc``) and ``rss_bytes`` (the
+  process's resident set at span end) attributes, and an
+  ``rss_bytes`` gauge labelled by worker track is updated — gauges
+  merge by *max* at compaction (:mod:`repro.obs.metrics`), so the
+  compacted trace reports each worker's peak observed RSS.
+
+Spans outside the hot set pay one frozenset membership test; with
+profiling disabled, spans pay one global ``is None`` check; with
+tracing disabled nothing here runs at all. Study records are
+byte-identical with profiling on or off — telemetry only ever lands in
+the trace sidecars.
+
+RSS is read from ``/proc/self/statm`` where available (Linux);
+elsewhere it falls back to ``resource.getrusage`` peak RSS, which is
+monotone rather than current — still a usable leak signal.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import trace as _trace
+
+#: Span names sampled by the memory profiler — the hot paths of the
+#: study runner, where a leak or a blow-up would live.
+HOT_SPANS = frozenset({"unit", "cell", "featurize"})
+
+#: Currently profiled span names (None = profiling off).
+_PROFILED_SPANS: frozenset[str] | None = None
+
+#: Whether *we* started tracemalloc (and therefore must stop it).
+_STARTED_TRACEMALLOC = False
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes() -> int:
+    """Current resident set size of this process, in bytes.
+
+    Reads ``/proc/self/statm`` (Linux); falls back to the
+    ``resource`` module's peak RSS elsewhere (0 when even that is
+    unavailable).
+    """
+    try:
+        with open("/proc/self/statm", "r") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS
+        return usage * 1024 if os.uname().sysname != "Darwin" else usage
+    except Exception:
+        return 0
+
+
+def memory_profiling_enabled() -> bool:
+    """Whether the span memory hooks are currently installed."""
+    return _PROFILED_SPANS is not None
+
+
+def _on_enter(span: "_trace.Span") -> None:
+    if _PROFILED_SPANS is not None and span.name in _PROFILED_SPANS:
+        span._mem = tracemalloc.get_traced_memory()[0]
+
+
+def _on_exit(span: "_trace.Span") -> None:
+    if span._mem is None:
+        return
+    current = tracemalloc.get_traced_memory()[0]
+    rss = rss_bytes()
+    span.set(mem_delta_bytes=current - span._mem, rss_bytes=rss)
+    span._mem = None
+    tracer = _trace.get_tracer()
+    if tracer.enabled:
+        tracer.metrics.gauge("rss_bytes", rss, worker=_trace.track_id())
+
+
+def enable_memory_profiling(spans: frozenset[str] = HOT_SPANS) -> None:
+    """Start sampling memory at the boundaries of ``spans``.
+
+    Starts ``tracemalloc`` if it is not already running (and remembers
+    to stop it again on :func:`disable_memory_profiling`). Idempotent.
+    """
+    global _PROFILED_SPANS, _STARTED_TRACEMALLOC
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _STARTED_TRACEMALLOC = True
+    _PROFILED_SPANS = frozenset(spans)
+    _trace.install_span_hooks(_on_enter, _on_exit)
+
+
+def disable_memory_profiling() -> None:
+    """Stop sampling and (if we started it) stop ``tracemalloc``."""
+    global _PROFILED_SPANS, _STARTED_TRACEMALLOC
+    _PROFILED_SPANS = None
+    _trace.uninstall_span_hooks()
+    if _STARTED_TRACEMALLOC and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_TRACEMALLOC = False
+
+
+@contextmanager
+def profile_memory(spans: frozenset[str] = HOT_SPANS) -> Iterator[None]:
+    """Enable memory profiling for the duration of a block.
+
+    The executor wraps each traced work unit (and the parent study
+    scope) in this when :attr:`ExecutorOptions.profile_memory` is set;
+    profiling state is process-global, like the tracer itself.
+    """
+    already = memory_profiling_enabled()
+    if not already:
+        enable_memory_profiling(spans)
+    try:
+        yield
+    finally:
+        if not already:
+            disable_memory_profiling()

@@ -1,0 +1,390 @@
+"""In-flight run monitoring from trace + journal sidecars.
+
+:func:`scan_run` assembles a :class:`ProgressSnapshot` of a study run
+by reading, **read-only**, the files the executor is writing anyway:
+
+- ``{stem}.trace.jsonl`` — the parent executor's events. The
+  ``planned`` event fixes the denominator (units/cells pending this
+  run); ``unit_merged`` / ``retry`` / ``recovered`` / ``poison``
+  events track the merge frontier and fault tally. The executor
+  flushes after each of these, so they are visible mid-run.
+- ``{stem}.trace.w*.jsonl`` — per-worker shards. Workers emit flushed
+  ``heartbeat`` events at unit start and around every cell
+  (:meth:`repro.benchmark.runner.ExperimentRunner.run_repetition_cells`),
+  which yields cells done/started, per-``(dataset, error_type,
+  model)`` throughput, and — from the age of each worker's newest
+  heartbeat — stalled-worker detection.
+- ``{stem}.w*.jsonl`` journal shards — records appended so far (the
+  ground truth the run would recover from after a crash).
+- ``{stem}.json`` manifest + ``{stem}.failures.jsonl`` — records
+  compacted by previous runs, and poisoned units.
+
+Nothing here takes locks or opens files for writing, so monitoring
+cannot perturb the run; torn trailing lines (a writer mid-append) are
+skipped by the tolerant JSONL readers. After the run finishes and
+compacts, the same scan still works against the compacted
+``trace.jsonl`` and reports the run as complete — ``python -m repro
+monitor`` uses that as its exit condition.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.report import read_failures, read_trace_events
+
+#: Heartbeat age (seconds) beyond which a worker is reported stalled.
+DEFAULT_STALL_AFTER = 60.0
+
+
+@dataclass
+class WorkerStatus:
+    """Liveness of one worker track (``w{pid}`` / ``w{pid}.t{tid}``).
+
+    Attributes:
+        track: Worker track id.
+        last_ts: Epoch timestamp of the newest heartbeat.
+        age: Seconds between ``last_ts`` and the snapshot time.
+        stalled: True when ``age`` exceeds the stall threshold and the
+            run is not complete.
+        cells_done: Cells this worker finished.
+        last_phase: Phase attribute of the newest heartbeat.
+    """
+
+    track: str
+    last_ts: float
+    age: float
+    stalled: bool
+    cells_done: int
+    last_phase: str
+
+
+@dataclass
+class ProgressSnapshot:
+    """One read-only observation of a run's progress.
+
+    ``planned_cells`` counts only the cells *pending this run* (the
+    executor plans against the resumable store), so a resumed run
+    reports progress of the remaining work, not the whole grid.
+    """
+
+    stem: str
+    now: float
+    planned_units: int = 0
+    planned_cells: int = 0
+    workers_planned: int = 0
+    backend: str = ""
+    units_merged: int = 0
+    records_merged: int = 0
+    cells_started: int = 0
+    cells_done: int = 0
+    cells_poisoned: int = 0
+    journal_records: int = 0
+    store_records: int = 0
+    retries: int = 0
+    recovered: int = 0
+    poisoned_units: int = 0
+    heartbeats: int = 0
+    started_ts: float = 0.0
+    last_ts: float = 0.0
+    elapsed: float = 0.0
+    cells_per_second: float = 0.0
+    eta_seconds: float | None = None
+    complete: bool = False
+    throughput: dict[tuple[str, str, str], dict[str, float]] = field(
+        default_factory=dict
+    )
+    workers: list[WorkerStatus] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON-serialisable representation."""
+        payload = {
+            name: getattr(self, name)
+            for name in (
+                "stem",
+                "now",
+                "planned_units",
+                "planned_cells",
+                "workers_planned",
+                "backend",
+                "units_merged",
+                "records_merged",
+                "cells_started",
+                "cells_done",
+                "cells_poisoned",
+                "journal_records",
+                "store_records",
+                "retries",
+                "recovered",
+                "poisoned_units",
+                "heartbeats",
+                "started_ts",
+                "last_ts",
+                "elapsed",
+                "cells_per_second",
+                "eta_seconds",
+                "complete",
+            )
+        }
+        payload["throughput"] = {
+            "/".join(key): dict(stats)
+            for key, stats in sorted(self.throughput.items())
+        }
+        payload["workers"] = [
+            {
+                "track": worker.track,
+                "last_ts": worker.last_ts,
+                "age": worker.age,
+                "stalled": worker.stalled,
+                "cells_done": worker.cells_done,
+                "last_phase": worker.last_phase,
+            }
+            for worker in self.workers
+        ]
+        return payload
+
+
+def _store_record_count(store_path: Path) -> int:
+    """Records already compacted into the sharded store (0 if none)."""
+    if not store_path.exists():
+        return 0
+    try:
+        with store_path.open("r") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return 0
+    if not isinstance(payload, dict):
+        return 0
+    if "shards" in payload:
+        return sum(
+            int(entry.get("records", len(entry.get("keys", ()))))
+            for entry in payload["shards"]
+            if isinstance(entry, dict)
+        )
+    if "records" in payload and isinstance(payload["records"], list):
+        return len(payload["records"])
+    return 0
+
+
+def _journal_record_count(store_path: Path) -> int:
+    """Decodable record lines across all journal shards, read-only."""
+    stem = store_path.stem
+    parent = store_path.parent
+    count = 0
+    paths = [parent / f"{stem}.jsonl"]
+    paths += sorted(
+        path
+        for path in parent.glob(f"{stem}.*.jsonl")
+        if not path.name.startswith(f"{stem}.trace.")
+        and path.name != f"{stem}.failures.jsonl"
+    )
+    for path in paths:
+        if not path.exists():
+            continue
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and "metrics" in payload:
+                count += 1
+    return count
+
+
+def trace_files(store_path: str | Path) -> list[Path]:
+    """The run's trace files: compacted sidecar first, then shards."""
+    store_path = Path(store_path)
+    stem = store_path.stem
+    parent = store_path.parent
+    main = parent / f"{stem}.trace.jsonl"
+    paths = [main] if main.exists() else []
+    paths.extend(sorted(parent.glob(f"{stem}.trace.*.jsonl")))
+    return paths
+
+
+def scan_run(
+    store_path: str | Path,
+    now: float | None = None,
+    stall_after: float = DEFAULT_STALL_AFTER,
+) -> ProgressSnapshot:
+    """Observe a (possibly in-flight) traced run, read-only.
+
+    ``store_path`` is the store manifest path the study was launched
+    with (``--store``); ``now`` overrides the snapshot clock for
+    deterministic tests.
+    """
+    store_path = Path(store_path)
+    now = time.time() if now is None else now
+    snapshot = ProgressSnapshot(stem=str(store_path), now=now)
+    events = read_trace_events(trace_files(store_path))
+    worker_last: dict[str, tuple[float, str]] = {}
+    worker_cells: dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind")
+        if kind == "metric":
+            continue
+        ts = float(event.get("ts", 0.0))
+        if ts > 0.0:
+            if snapshot.started_ts == 0.0 or ts < snapshot.started_ts:
+                snapshot.started_ts = ts
+            snapshot.last_ts = max(snapshot.last_ts, ts)
+        name = event.get("name")
+        attrs = event.get("attrs", {})
+        track = str(event.get("w", "?"))
+        if name == "planned":
+            snapshot.planned_units = int(attrs.get("units", 0))
+            snapshot.planned_cells = int(attrs.get("cells", 0))
+            snapshot.workers_planned = int(attrs.get("workers", 0))
+            snapshot.backend = str(attrs.get("backend", ""))
+        elif name == "unit_merged":
+            snapshot.units_merged += 1
+            snapshot.records_merged += int(attrs.get("records", 0))
+        elif name == "retry":
+            snapshot.retries += 1
+        elif name == "recovered":
+            snapshot.recovered += 1
+        elif name == "poison":
+            snapshot.poisoned_units += 1
+        elif name == "heartbeat":
+            snapshot.heartbeats += 1
+            phase = str(attrs.get("phase", "?"))
+            if ts > 0.0:
+                last = worker_last.get(track)
+                if last is None or ts >= last[0]:
+                    worker_last[track] = (ts, phase)
+            if phase == "cell_start":
+                snapshot.cells_started += 1
+            elif phase == "cell_done":
+                snapshot.cells_done += 1
+                worker_cells[track] = worker_cells.get(track, 0) + 1
+                key = (
+                    str(attrs.get("dataset", "?")),
+                    str(attrs.get("error_type", "?")),
+                    str(attrs.get("model", "?")),
+                )
+                stats = snapshot.throughput.setdefault(
+                    key, {"cells": 0.0, "seconds": 0.0}
+                )
+                stats["cells"] += 1
+                stats["seconds"] += float(attrs.get("seconds", 0.0))
+    failures = read_failures(
+        store_path.parent / f"{store_path.stem}.failures.jsonl"
+    )
+    snapshot.cells_poisoned = sum(
+        len(entry.get("pending_cells", ())) for entry in failures
+    )
+    snapshot.store_records = _store_record_count(store_path)
+    snapshot.journal_records = _journal_record_count(store_path)
+    if snapshot.started_ts > 0.0:
+        snapshot.elapsed = max(0.0, now - snapshot.started_ts)
+    if snapshot.elapsed > 0.0 and snapshot.cells_done > 0:
+        snapshot.cells_per_second = snapshot.cells_done / snapshot.elapsed
+    remaining = max(
+        0,
+        snapshot.planned_cells - snapshot.cells_done - snapshot.cells_poisoned,
+    )
+    snapshot.complete = snapshot.planned_cells > 0 and remaining == 0
+    if not snapshot.complete and snapshot.cells_per_second > 0.0:
+        snapshot.eta_seconds = remaining / snapshot.cells_per_second
+    for key, stats in snapshot.throughput.items():
+        stats["cells_per_second"] = (
+            stats["cells"] / stats["seconds"] if stats["seconds"] > 0 else 0.0
+        )
+    for track in sorted(worker_last):
+        ts, phase = worker_last[track]
+        age = max(0.0, now - ts)
+        snapshot.workers.append(
+            WorkerStatus(
+                track=track,
+                last_ts=ts,
+                age=age,
+                stalled=not snapshot.complete and age > stall_after,
+                cells_done=worker_cells.get(track, 0),
+                last_phase=phase,
+            )
+        )
+    return snapshot
+
+
+def _format_eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "--"
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_progress(snapshot: ProgressSnapshot) -> str:
+    """Plain-text monitor view of one snapshot."""
+    done = snapshot.cells_done
+    total = snapshot.planned_cells
+    percent = 100.0 * done / total if total else 0.0
+    lines = [
+        f"run: {snapshot.stem}"
+        + ("   [COMPLETE]" if snapshot.complete else ""),
+        f"cells: {done}/{total} ({percent:.0f}%)   "
+        f"units merged: {snapshot.units_merged}/{snapshot.planned_units}   "
+        f"records: {snapshot.store_records} compacted "
+        f"+ {snapshot.journal_records} journaled",
+        f"elapsed: {snapshot.elapsed:.0f}s   "
+        f"rate: {snapshot.cells_per_second:.2f} cells/s   "
+        f"eta: {_format_eta(snapshot.eta_seconds)}   "
+        f"retries: {snapshot.retries}   "
+        f"poisoned: {snapshot.poisoned_units}",
+    ]
+    if snapshot.throughput:
+        lines.append("throughput by configuration:")
+        for key in sorted(snapshot.throughput):
+            stats = snapshot.throughput[key]
+            lines.append(
+                f"  {'/'.join(key)}: {int(stats['cells'])} cells, "
+                f"{stats['cells_per_second']:.2f} cells/s"
+            )
+    if snapshot.workers:
+        lines.append("workers:")
+        for worker in snapshot.workers:
+            flag = "  STALLED" if worker.stalled else ""
+            lines.append(
+                f"  {worker.track}: {worker.cells_done} cells, "
+                f"last {worker.last_phase} {worker.age:.1f}s ago{flag}"
+            )
+    return "\n".join(lines)
+
+
+def monitor_run(
+    store_path: str | Path,
+    interval: float = 2.0,
+    stall_after: float = DEFAULT_STALL_AFTER,
+    once: bool = False,
+    emit=print,
+    max_iterations: int | None = None,
+) -> ProgressSnapshot:
+    """Poll a run until it completes, emitting a report per interval.
+
+    Returns the final snapshot. ``once`` takes a single snapshot (the
+    ``monitor --once`` mode); ``max_iterations`` bounds the loop for
+    tests and cron-style use.
+    """
+    iterations = 0
+    while True:
+        snapshot = scan_run(store_path, stall_after=stall_after)
+        emit(render_progress(snapshot))
+        iterations += 1
+        if snapshot.complete or once:
+            return snapshot
+        if max_iterations is not None and iterations >= max_iterations:
+            return snapshot
+        time.sleep(interval)

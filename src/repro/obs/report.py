@@ -94,6 +94,14 @@ class RunHealth:
         retries / recovered / poisoned / timeouts: Executor
             fault-tolerance tally (``recovered`` counts failed units
             fully reconstructed from their journal shard, no retry).
+        heartbeats: Flushed liveness events observed (unit/cell
+            progress beacons the in-flight monitor tails).
+        memory: Per profiled span name (``--profile-memory`` runs):
+            ``{"count", "mem_delta_bytes", "peak_rss_bytes"}`` —
+            samples, net tracemalloc allocation across all samples,
+            and the largest RSS observed at a span exit.
+        peak_rss_bytes: Largest RSS observed across all profiled
+            spans (0 when memory profiling was off).
         backoff_seconds: Total injected retry backoff sleep.
         faults: Injected-fault firings by kind (chaos runs only).
         counters: All merged metric counters, keyed
@@ -115,6 +123,9 @@ class RunHealth:
     recovered: int = 0
     poisoned: int = 0
     timeouts: int = 0
+    heartbeats: int = 0
+    memory: dict[str, dict[str, float]] = field(default_factory=dict)
+    peak_rss_bytes: float = 0.0
     backoff_seconds: float = 0.0
     faults: dict[str, int] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
@@ -137,6 +148,9 @@ class RunHealth:
             "recovered": self.recovered,
             "poisoned": self.poisoned,
             "timeouts": self.timeouts,
+            "heartbeats": self.heartbeats,
+            "memory": self.memory,
+            "peak_rss_bytes": self.peak_rss_bytes,
             "backoff_seconds": self.backoff_seconds,
             "faults": self.faults,
             "counters": self.counters,
@@ -218,6 +232,15 @@ def _fold_span(
     totals = health.phase_totals.setdefault(name, {"count": 0, "seconds": 0.0})
     totals["count"] += 1
     totals["seconds"] += seconds
+    if "mem_delta_bytes" in attrs or "rss_bytes" in attrs:
+        memory = health.memory.setdefault(
+            name, {"count": 0, "mem_delta_bytes": 0.0, "peak_rss_bytes": 0.0}
+        )
+        memory["count"] += 1
+        memory["mem_delta_bytes"] += float(attrs.get("mem_delta_bytes", 0.0))
+        rss = float(attrs.get("rss_bytes", 0.0))
+        memory["peak_rss_bytes"] = max(memory["peak_rss_bytes"], rss)
+        health.peak_rss_bytes = max(health.peak_rss_bytes, rss)
     if name == "cell":
         cells.append({**attrs, "seconds": seconds})
         model = str(attrs.get("model", "?"))
@@ -265,6 +288,8 @@ def _fold_event(health: RunHealth, event: dict[str, Any]) -> None:
         health.poisoned += 1
         if "Timeout" in str(attrs.get("error", "")):
             health.timeouts += 1
+    elif name == "heartbeat":
+        health.heartbeats += 1
     elif name == "backoff_sleep":
         health.backoff_seconds += float(attrs.get("seconds", 0.0))
     elif name == "fault_injected":
@@ -280,6 +305,14 @@ def load_health(
     return build_health(
         read_trace_events(trace_paths), read_failures(failures_path)
     )
+
+
+def _format_bytes(count: float) -> str:
+    magnitude = abs(count)
+    for unit, scale in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
+        if magnitude >= scale:
+            return f"{count / scale:.1f}{unit}"
+    return f"{count:.0f}B"
 
 
 def _format_seconds(seconds: float) -> str:
@@ -317,8 +350,25 @@ def render_health_report(health: RunHealth, top: int = 10) -> str:
         f"trace events: {health.n_events}   retries: {health.retries}   "
         f"recovered: {health.recovered}   poisoned: {health.poisoned}   "
         f"timeouts: {health.timeouts}   "
+        f"heartbeats: {health.heartbeats}   "
         f"backoff: {_format_seconds(health.backoff_seconds)}"
     )
+    if health.memory:
+        lines += [
+            "",
+            f"Memory (profiled spans; peak RSS "
+            f"{_format_bytes(health.peak_rss_bytes)})",
+        ]
+        rows = [
+            (
+                name,
+                str(int(stats["count"])),
+                _format_bytes(stats["mem_delta_bytes"]),
+                _format_bytes(stats["peak_rss_bytes"]),
+            )
+            for name, stats in sorted(health.memory.items())
+        ]
+        lines += _table(("span", "samples", "net alloc", "peak rss"), rows)
     if health.phase_totals:
         lines += ["", "Phase totals (spans nest; compare siblings)"]
         rows = [

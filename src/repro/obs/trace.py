@@ -14,6 +14,26 @@ The tracer is a process-global object emitting JSONL *events* to a
   from the :class:`repro.obs.metrics.MetricsRegistry` owned by the
   tracer.
 
+Every span and point event additionally carries ``ts`` — the
+wall-clock epoch time at span *start* (event emission) — and ``w``,
+the emitting worker track (``w{pid}``, or ``w{pid}.t{tid}`` off the
+main thread, mirroring the executor's journal shard naming). The pair
+is what turns post-hoc sidecars into a live telemetry plane: ``ts``
+anchors the Chrome-trace export (:mod:`repro.obs.export`) and the
+in-flight monitor's heartbeat-age stall detection
+(:mod:`repro.obs.progress`); ``w`` assigns each event to its
+per-worker track in both.
+
+:func:`heartbeat` emits a ``heartbeat`` point event and *flushes* the
+sink, so a read-only tail of the shard files (``python -m repro
+monitor``) observes progress while the run is still in flight —
+ordinary events stay buffered for throughput.
+
+:mod:`repro.obs.profile` may install a pair of span hooks (see
+:func:`install_span_hooks`) sampling memory telemetry at span
+boundaries; with no hooks installed an enabled span pays one global
+read, and a disabled span still costs one attribute lookup.
+
 Disabled tracing costs one attribute lookup: every module-level helper
 first reads ``_TRACER.enabled`` and returns a shared no-op object
 without allocating anything. No event is buffered, no clock is read.
@@ -29,16 +49,48 @@ so in-process execution inside the parent never loses parent events.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.obs.metrics import MetricsRegistry
 
 #: Trace event schema version, stamped on every line.
 SCHEMA_VERSION = 1
+
+
+def track_id() -> str:
+    """Worker track of the calling thread (``w{pid}[.t{tid}]``).
+
+    Matches the executor's journal/trace shard naming: one track per
+    worker process, one per worker thread under the thread backend.
+    """
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"w{os.getpid()}"
+    return f"w{os.getpid()}.t{thread.ident}"
+
+
+#: Optional (on_enter, on_exit) span hooks — installed by
+#: :mod:`repro.obs.profile` to sample memory at span boundaries.
+_SPAN_HOOKS: "tuple[Callable[[Span], None], Callable[[Span], None]] | None" = None
+
+
+def install_span_hooks(
+    on_enter: "Callable[[Span], None]", on_exit: "Callable[[Span], None]"
+) -> None:
+    """Install the (single) pair of span boundary hooks."""
+    global _SPAN_HOOKS
+    _SPAN_HOOKS = (on_enter, on_exit)
+
+
+def uninstall_span_hooks() -> None:
+    """Remove any installed span boundary hooks."""
+    global _SPAN_HOOKS
+    _SPAN_HOOKS = None
 
 
 class TraceSink:
@@ -94,7 +146,16 @@ class TraceSink:
 class Span:
     """One open span: a timed section with attributes and counters."""
 
-    __slots__ = ("name", "attrs", "counters", "_tracer", "_started", "seconds")
+    __slots__ = (
+        "name",
+        "attrs",
+        "counters",
+        "_tracer",
+        "_started",
+        "seconds",
+        "ts",
+        "_mem",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
         self.name = name
@@ -103,6 +164,10 @@ class Span:
         self._tracer = tracer
         self._started = 0.0
         self.seconds = 0.0
+        #: Wall-clock epoch seconds at span start (set on ``__enter__``).
+        self.ts = 0.0
+        #: Scratch slot for the memory-profiling span hooks.
+        self._mem: Any = None
 
     def set(self, **attrs: Any) -> "Span":
         """Attach or overwrite span attributes."""
@@ -116,11 +181,16 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tracer._push(self)
+        if _SPAN_HOOKS is not None:
+            _SPAN_HOOKS[0](self)
+        self.ts = time.time()
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.seconds = time.perf_counter() - self._started
+        if _SPAN_HOOKS is not None:
+            _SPAN_HOOKS[1](self)
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._pop(self)
@@ -228,6 +298,8 @@ class Tracer:
             "name": span.name,
             "path": path,
             "seconds": span.seconds,
+            "ts": span.ts,
+            "w": track_id(),
         }
         if span.attrs:
             event["attrs"] = span.attrs
@@ -252,10 +324,28 @@ class Tracer:
             "v": SCHEMA_VERSION,
             "kind": "event",
             "name": name,
+            "ts": time.time(),
+            "w": track_id(),
         }
         if attrs:
             event["attrs"] = attrs
         self._sink.emit(event)
+
+    def heartbeat(self, **attrs: Any) -> None:
+        """Emit a ``heartbeat`` point event and flush it to disk.
+
+        Unlike ordinary events — buffered for throughput — a heartbeat
+        is immediately visible to a read-only tail of the sink file, so
+        ``python -m repro monitor`` can observe liveness, per-cell
+        progress and heartbeat age while the run is in flight. The
+        flush also drains the metrics registry, keeping counters and
+        gauges live too (snapshots merge deterministically at
+        compaction, so eager draining never double-counts).
+        """
+        if not self.enabled or self._sink is None:
+            return
+        self.event("heartbeat", **attrs)
+        self.flush()
 
 
 #: The process-global tracer behind the module-level helpers.
@@ -304,6 +394,13 @@ def event(name: str, **attrs: Any) -> None:
     if not _TRACER.enabled:
         return
     _TRACER.event(name, **attrs)
+
+
+def heartbeat(**attrs: Any) -> None:
+    """Emit a flushed heartbeat event on the global tracer."""
+    if not _TRACER.enabled:
+        return
+    _TRACER.heartbeat(**attrs)
 
 
 def counter(name: str, amount: float = 1.0, **labels: Any) -> None:

@@ -206,6 +206,51 @@ def test_health_folds_mixed_shards_and_poisoned_sidecar(tmp_path):
     assert len(ResultStore(tmp_path / "study.json")) == 2
 
 
+def test_compact_trace_byte_identical_under_shard_permutation(tmp_path):
+    """Thread-backend shard names (``w{pid}.t{tid}``) vary run to run,
+    permuting the shard read order; compaction output must not."""
+    parent_events = [span_event("planned"), counter_event("timeouts", 1.0)]
+    worker_events = [
+        [span_event("cell", model="log_reg"), counter_event("timeouts", 2.0)],
+        [span_event("cell", model="knn")],
+        [counter_event("cache_hit", 3.0, cache="featurizer")],
+    ]
+    compacted: list[bytes] = []
+    # three shard-name assignments that sort (and therefore read) in
+    # three different orders
+    for name_sets in (
+        ("study.trace.w1.t11.jsonl", "study.trace.w1.t22.jsonl", "study.trace.w2.t5.jsonl"),
+        ("study.trace.w2.t5.jsonl", "study.trace.w1.t11.jsonl", "study.trace.w1.t22.jsonl"),
+        ("study.trace.w9.t1.jsonl", "study.trace.w3.t7.jsonl", "study.trace.w1.t2.jsonl"),
+    ):
+        workdir = tmp_path / f"perm{len(compacted)}"
+        workdir.mkdir()
+        store = ResultStore(workdir / "study.json")
+        write_events(store.trace_path, parent_events)
+        for name, events in zip(name_sets, worker_events):
+            write_events(workdir / name, events)
+        store.compact_trace()
+        compacted.append(store.trace_path.read_bytes())
+    assert compacted[0] == compacted[1] == compacted[2]
+
+
+def test_compact_trace_keeps_parent_event_order(tmp_path):
+    """Only shard-origin lines sort; the parent's own chronological
+    event sequence (planned -> retries -> ...) is preserved."""
+    store = ResultStore(tmp_path / "study.json")
+    write_events(
+        store.trace_path,
+        [span_event("zeta"), span_event("alpha"), span_event("beta")],
+    )
+    write_events(tmp_path / "study.trace.w1.jsonl", [span_event("cell")])
+    store.compact_trace()
+    names = [
+        json.loads(line)["name"]
+        for line in store.trace_path.read_text().splitlines()
+    ]
+    assert names == ["zeta", "alpha", "beta", "cell"]
+
+
 def test_health_reads_uncompacted_worker_shards_directly(tmp_path):
     """health() must not require a save(): a run killed before
     compaction still reports from its worker shards."""

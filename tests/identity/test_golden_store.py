@@ -13,7 +13,9 @@ one ``chaos_config()`` german/mislabels slice saved via
 
 from pathlib import Path
 
+from repro import obs
 from repro.benchmark import ExperimentRunner, ResultStore
+from repro.obs import profile_memory
 from repro.testing.fixtures import chaos_config, store_fingerprint
 
 GOLDEN = Path(__file__).parent / "golden" / "study.json"
@@ -35,4 +37,42 @@ def test_store_bytes_match_pre_encoding_golden(tmp_path):
     assert not diverged, (
         f"store bytes diverged from the pre-encoding golden in {diverged}; "
         "the dictionary-encoded data plane must be byte-invisible"
+    )
+
+
+def test_store_bytes_match_golden_with_full_telemetry(tmp_path):
+    """Heartbeats + memory profiling must be byte-invisible to records.
+
+    The same golden slice runs with the whole telemetry pipeline on —
+    tracing with heartbeat emission and tracemalloc/RSS memory
+    profiling — and must still produce a store fingerprint identical
+    to the fixture. Telemetry may only ever land in trace sidecars,
+    never in a record.
+    """
+    store_path = tmp_path / "study.json"
+    store = ResultStore(store_path)
+    runner = ExperimentRunner(chaos_config(), store)
+    with obs.scoped(tmp_path / "study.trace.jsonl"):
+        with profile_memory():
+            obs.heartbeat(phase="unit_start", n_cells=0)  # explicit beat too
+            runner.run_dataset_error("german", "mislabels")
+        store.save()
+
+    trace_path = tmp_path / "study.trace.jsonl"
+    assert trace_path.exists() and trace_path.stat().st_size > 0
+    events = obs.read_trace_events([trace_path])
+    assert any(event.get("name") == "heartbeat" for event in events)
+    assert any(
+        "mem_delta_bytes" in event.get("attrs", {})
+        for event in events
+        if event.get("kind") == "span"
+    ), "profiling must annotate hot spans"
+
+    actual = store_fingerprint(store_path)
+    golden = store_fingerprint(GOLDEN)
+    assert actual.keys() == golden.keys()
+    diverged = [name for name in golden if actual[name] != golden[name]]
+    assert not diverged, (
+        f"store bytes diverged from golden in {diverged} with telemetry "
+        "enabled; heartbeats and memory profiling must be byte-invisible"
     )

@@ -1,0 +1,92 @@
+"""Live monitoring of an in-flight multi-worker study.
+
+The acceptance contract of the telemetry pipeline: ``repro monitor``
+observes a *running* executor — not a finished store — purely from its
+trace sidecars, and its progress, throughput, ETA and heartbeat fields
+converge to the planned cell count by the time the run completes.
+The study runs on the thread backend so the monitor polls the very
+same files the live workers are appending to.
+"""
+
+import threading
+import time
+
+from repro.benchmark import ExecutorOptions, ResultStore, run_parallel_study
+from repro.obs import scan_run
+from repro.testing.fixtures import chaos_config
+
+
+def test_monitor_converges_on_inflight_study(tmp_path):
+    config = chaos_config()
+    store_path = tmp_path / "study.json"
+    store = ResultStore(store_path)
+    failures = []
+
+    def run_study():
+        try:
+            run_parallel_study(
+                config,
+                store,
+                workers=2,
+                datasets=("german",),
+                error_types=("mislabels",),
+                options=ExecutorOptions(backend="thread", trace=True),
+            )
+        except BaseException as error:  # surfaced after join
+            failures.append(error)
+
+    snapshots = []
+    study_thread = threading.Thread(target=run_study)
+    study_thread.start()
+    try:
+        while study_thread.is_alive():
+            snapshots.append(scan_run(store_path))
+            time.sleep(0.05)
+    finally:
+        study_thread.join(timeout=120)
+    assert not study_thread.is_alive(), "study did not finish"
+    assert not failures, failures
+
+    # -- mid-flight observations ---------------------------------------
+    # progress counters never regress while the run is live
+    done_series = [s.cells_done for s in snapshots]
+    assert done_series == sorted(done_series)
+    planned = [s for s in snapshots if s.planned_cells > 0]
+    for snapshot in planned:
+        assert snapshot.cells_done <= snapshot.planned_cells
+    # once cells complete mid-run, throughput and ETA are live
+    inflight = [s for s in planned if 0 < s.cells_done < s.planned_cells]
+    for snapshot in inflight:
+        assert snapshot.cells_per_second > 0.0
+        assert snapshot.eta_seconds is not None and snapshot.eta_seconds >= 0.0
+
+    # -- convergence ----------------------------------------------------
+    final = scan_run(store_path)
+    assert final.complete
+    assert final.planned_units == 2  # german x mislabels x 2 repetitions
+    assert final.planned_cells == 2  # one model per unit
+    assert final.cells_done == final.planned_cells
+    assert final.cells_started == final.planned_cells
+    assert final.units_merged == final.planned_units
+    assert final.backend == "thread"
+    assert final.workers_planned == 2
+    assert final.eta_seconds is None
+    assert final.retries == 0 and final.poisoned_units == 0
+    # every completed cell was heartbeated by a live worker track
+    assert final.heartbeats >= 2 * final.planned_cells + final.planned_units
+    assert final.workers, "worker heartbeats must yield worker status rows"
+    assert sum(worker.cells_done for worker in final.workers) == final.cells_done
+    assert all(not worker.stalled for worker in final.workers)
+    throughput_cells = sum(
+        stats["cells"] for stats in final.throughput.values()
+    )
+    assert throughput_cells == final.planned_cells
+    for key in final.throughput:
+        assert key[:2] == ("german", "mislabels")
+
+    # the scan stays valid after save() compacts the shards
+    store.save()
+    compacted = scan_run(store_path)
+    assert compacted.complete
+    assert compacted.cells_done == final.cells_done
+    assert compacted.store_records == len(store)

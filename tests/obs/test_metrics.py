@@ -128,16 +128,24 @@ def test_merge_rejects_mismatched_histogram_buckets():
         )
 
 
-def test_merge_gauges_last_value_in_shard_order():
+def gauge_event(name, value, **labels):
+    return {"type": "gauge", "name": name, "labels": labels, "value": value}
+
+
+def test_merge_gauges_keeps_maximum():
     merged = merge_metric_events(
-        [
-            {"type": "gauge", "name": "workers", "labels": {}, "value": 2.0},
-            {"type": "gauge", "name": "workers", "labels": {}, "value": 8.0},
-        ]
+        [gauge_event("workers", 2.0), gauge_event("workers", 8.0)]
     )
     assert merged == [
         {"type": "gauge", "name": "workers", "labels": {}, "value": 8.0}
     ]
+    # max is order-free: reversing the shards changes nothing
+    assert (
+        merge_metric_events(
+            [gauge_event("workers", 8.0), gauge_event("workers", 2.0)]
+        )
+        == merged
+    )
 
 
 def test_merge_is_deterministic_and_idempotent_shape():
@@ -150,3 +158,76 @@ def test_merge_is_deterministic_and_idempotent_shape():
     # merging the merged output again changes nothing
     assert merge_metric_events(once) == once
     assert [s["name"] for s in once] == ["a", "b"]
+
+
+# -- edge cases: permutation invariance, bucket boundaries, non-finite --
+
+
+def test_merge_is_invariant_under_event_permutation():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", 0.3, worker="a")
+    hist = registry.snapshot()[0]
+    events = [
+        counter_event("hits", 2.0, cache="x"),
+        counter_event("hits", 3.0, cache="x"),
+        counter_event("misses", 1.0),
+        gauge_event("rss", 100.0, worker="a"),
+        gauge_event("rss", 900.0, worker="a"),
+        gauge_event("rss", 400.0, worker="b"),
+        hist,
+        hist,
+    ]
+    import itertools
+
+    baseline = merge_metric_events(events)
+    # every permutation of a representative prefix merges identically
+    for permutation in itertools.permutations(events[:5]):
+        assert merge_metric_events(list(permutation) + events[5:]) == baseline
+
+
+def test_merge_gauge_nan_is_ignored_in_any_position():
+    expected = [gauge_event("rss", 7.0)]
+    for events in (
+        [gauge_event("rss", math.nan), gauge_event("rss", 7.0)],
+        [gauge_event("rss", 7.0), gauge_event("rss", math.nan)],
+        [
+            gauge_event("rss", math.nan),
+            gauge_event("rss", 7.0),
+            gauge_event("rss", math.nan),
+        ],
+    ):
+        assert merge_metric_events(events) == expected
+
+
+def test_merge_gauge_all_nan_stays_nan():
+    (merged,) = merge_metric_events(
+        [gauge_event("rss", math.nan), gauge_event("rss", math.nan)]
+    )
+    assert math.isnan(merged["value"])
+
+
+def test_histogram_value_exactly_on_boundary_lands_in_that_bucket():
+    registry = MetricsRegistry()
+    for edge in DURATION_BUCKETS:
+        registry.histogram("seconds", edge)
+    (snapshot,) = registry.snapshot()
+    # buckets are "value <= edge": an exact-boundary observation counts
+    # in the bucket it bounds, never the next one
+    assert snapshot["counts"] == [1] * len(DURATION_BUCKETS) + [0]
+
+
+def test_histogram_infinities():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", -math.inf)  # below every edge
+    registry.histogram("seconds", math.inf)  # above every edge
+    (snapshot,) = registry.snapshot()
+    assert snapshot["counts"][0] == 1
+    assert snapshot["counts"][-1] == 1
+    assert snapshot["count"] == 2
+
+
+def test_histogram_negative_value_lands_in_first_bucket():
+    registry = MetricsRegistry()
+    registry.histogram("seconds", -1.0)
+    (snapshot,) = registry.snapshot()
+    assert snapshot["counts"][0] == 1

@@ -1,0 +1,137 @@
+"""Tests for opt-in memory telemetry (repro.obs.profile)."""
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    HOT_SPANS,
+    disable_memory_profiling,
+    enable_memory_profiling,
+    memory_profiling_enabled,
+    profile_memory,
+    read_trace_events,
+    rss_bytes,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_profiler():
+    assert not memory_profiling_enabled(), "profiler leaked into the suite"
+    yield
+    disable_memory_profiling()
+
+
+def test_rss_bytes_reports_a_sane_resident_set():
+    rss = rss_bytes()
+    assert rss > 1024 * 1024  # a python process is comfortably over 1 MiB
+    assert isinstance(rss, int)
+
+
+def test_enable_disable_toggles_state_and_tracemalloc():
+    assert not tracemalloc.is_tracing()
+    enable_memory_profiling()
+    assert memory_profiling_enabled()
+    assert tracemalloc.is_tracing()
+    disable_memory_profiling()
+    assert not memory_profiling_enabled()
+    assert not tracemalloc.is_tracing()  # we started it, we stop it
+
+
+def test_disable_leaves_foreign_tracemalloc_running():
+    tracemalloc.start()
+    try:
+        enable_memory_profiling()
+        disable_memory_profiling()
+        assert tracemalloc.is_tracing()  # not ours to stop
+    finally:
+        tracemalloc.stop()
+
+
+def test_hot_spans_gain_memory_attrs(tmp_path):
+    path = tmp_path / "t.jsonl"
+    obs.configure(path)
+    with profile_memory():
+        with obs.span("cell", model="log_reg"):
+            ballast = [0] * 50_000  # noqa: F841 -- force net allocations
+        with obs.span("tune"):
+            pass
+    obs.flush()
+    by_name = {event["name"]: event for event in read_trace_events([path])
+               if event["kind"] == "span"}
+    cell = by_name["cell"]
+    assert cell["attrs"]["mem_delta_bytes"] > 0
+    assert cell["attrs"]["rss_bytes"] > 0
+    assert cell["attrs"]["model"] == "log_reg"  # ordinary attrs intact
+    # spans outside HOT_SPANS are not sampled
+    assert "tune" not in HOT_SPANS
+    assert "mem_delta_bytes" not in by_name["tune"].get("attrs", {})
+
+
+def test_profiled_span_set_is_configurable(tmp_path):
+    path = tmp_path / "t.jsonl"
+    obs.configure(path)
+    with profile_memory(spans=frozenset({"tune"})):
+        with obs.span("tune"):
+            pass
+    obs.flush()
+    (event,) = [e for e in read_trace_events([path]) if e["kind"] == "span"]
+    assert "rss_bytes" in event["attrs"]
+
+
+def test_profiling_emits_per_worker_rss_gauge(tmp_path):
+    path = tmp_path / "t.jsonl"
+    obs.configure(path)
+    with profile_memory():
+        with obs.span("unit"):
+            pass
+    obs.flush()
+    gauges = [
+        event
+        for event in read_trace_events([path])
+        if event.get("kind") == "metric" and event.get("type") == "gauge"
+        and event.get("name") == "rss_bytes"
+    ]
+    assert gauges, "profiling must publish an rss_bytes gauge"
+    assert gauges[0]["value"] > 0
+    assert gauges[0]["labels"]["worker"].startswith("w")
+
+
+def test_profiling_without_tracer_is_inert(tmp_path):
+    # hooks installed but tracer disabled: spans are NOOP, nothing leaks
+    with profile_memory():
+        with obs.span("cell"):
+            pass
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_profile_memory_is_reentrant():
+    with profile_memory():
+        with profile_memory():
+            assert memory_profiling_enabled()
+        assert memory_profiling_enabled()  # inner exit must not disable
+    assert not memory_profiling_enabled()
+
+
+def test_hooks_do_not_change_span_event_shape(tmp_path):
+    """Record-facing guarantee: profiling adds attrs, never removes or
+    reorders the span fields the identity fixtures depend on."""
+    path_plain = tmp_path / "plain.jsonl"
+    obs.configure(path_plain)
+    with obs.span("cell"):
+        pass
+    obs.shutdown()
+    path_profiled = tmp_path / "profiled.jsonl"
+    obs.configure(path_profiled)
+    with profile_memory():
+        with obs.span("cell"):
+            pass
+    obs.shutdown()
+    (plain,) = [e for e in read_trace_events([path_plain]) if e["kind"] == "span"]
+    (profiled,) = [
+        e for e in read_trace_events([path_profiled]) if e["kind"] == "span"
+    ]
+    extra = {"mem_delta_bytes", "rss_bytes"}
+    assert set(profiled.get("attrs", {})) - set(plain.get("attrs", {})) == extra
+    assert set(profiled) == set(plain) | {"attrs"}

@@ -1,0 +1,234 @@
+"""Tests for the in-flight progress scanner (repro.obs.progress)."""
+
+import json
+
+import pytest
+
+from repro.obs import ProgressSnapshot, render_progress, scan_run
+from repro.obs.progress import monitor_run, trace_files
+
+
+def write_events(path, events):
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+
+
+def planned_event(ts, units, cells, workers=2, backend="process"):
+    return {
+        "v": 1,
+        "kind": "event",
+        "name": "planned",
+        "ts": ts,
+        "w": "w1",
+        "attrs": {
+            "units": units,
+            "cells": cells,
+            "workers": workers,
+            "backend": backend,
+            "transport": "pickle",
+        },
+    }
+
+
+def heartbeat_event(ts, track, phase, **attrs):
+    return {
+        "v": 1,
+        "kind": "event",
+        "name": "heartbeat",
+        "ts": ts,
+        "w": track,
+        "attrs": {"phase": phase, **attrs},
+    }
+
+
+def unit_merged_event(ts, records):
+    return {
+        "v": 1,
+        "kind": "event",
+        "name": "unit_merged",
+        "ts": ts,
+        "w": "w1",
+        "attrs": {
+            "dataset": "german",
+            "error_type": "mislabels",
+            "repetition": 0,
+            "records": records,
+        },
+    }
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """A synthetic in-flight run: 2 workers, 4 planned cells, 2 done."""
+    store_path = tmp_path / "study.json"
+    write_events(
+        tmp_path / "study.trace.jsonl",
+        [planned_event(100.0, units=2, cells=4), unit_merged_event(130.0, 1)],
+    )
+    write_events(
+        tmp_path / "study.trace.w2.jsonl",
+        [
+            heartbeat_event(101.0, "w2", "unit_start", n_cells=2),
+            heartbeat_event(
+                102.0, "w2", "cell_start", dataset="german",
+                error_type="mislabels", model="log_reg",
+            ),
+            heartbeat_event(
+                110.0, "w2", "cell_done", dataset="german",
+                error_type="mislabels", model="log_reg", seconds=8.0,
+            ),
+        ],
+    )
+    write_events(
+        tmp_path / "study.trace.w3.jsonl",
+        [
+            heartbeat_event(101.0, "w3", "unit_start", n_cells=2),
+            heartbeat_event(
+                120.0, "w3", "cell_done", dataset="german",
+                error_type="mislabels", model="knn", seconds=19.0,
+            ),
+        ],
+    )
+    return store_path
+
+
+def test_scan_counts_cells_and_units(run_dir):
+    snapshot = scan_run(run_dir, now=125.0)
+    assert snapshot.planned_units == 2
+    assert snapshot.planned_cells == 4
+    assert snapshot.workers_planned == 2
+    assert snapshot.backend == "process"
+    assert snapshot.cells_started == 1
+    assert snapshot.cells_done == 2
+    assert snapshot.units_merged == 1
+    assert snapshot.records_merged == 1
+    assert snapshot.heartbeats == 5
+    assert not snapshot.complete
+
+
+def test_scan_throughput_and_eta(run_dir):
+    snapshot = scan_run(run_dir, now=125.0)
+    assert snapshot.started_ts == 100.0
+    assert snapshot.elapsed == pytest.approx(25.0)
+    assert snapshot.cells_per_second == pytest.approx(2 / 25.0)
+    # 2 remaining cells at 0.08 cells/s
+    assert snapshot.eta_seconds == pytest.approx(25.0)
+    key = ("german", "mislabels", "log_reg")
+    assert snapshot.throughput[key]["cells"] == 1
+    assert snapshot.throughput[key]["cells_per_second"] == pytest.approx(1 / 8.0)
+
+
+def test_scan_detects_stalled_worker(run_dir):
+    snapshot = scan_run(run_dir, now=200.0, stall_after=60.0)
+    by_track = {worker.track: worker for worker in snapshot.workers}
+    assert by_track["w2"].stalled  # last heartbeat at 110 -> age 90
+    assert by_track["w3"].age == pytest.approx(80.0)
+    assert by_track["w3"].stalled
+    assert by_track["w2"].cells_done == 1
+    assert by_track["w2"].last_phase == "cell_done"
+
+
+def test_scan_complete_run_reports_no_stalls(tmp_path):
+    store_path = tmp_path / "study.json"
+    write_events(
+        tmp_path / "study.trace.jsonl",
+        [
+            planned_event(100.0, units=1, cells=1),
+            heartbeat_event(
+                101.0, "w1", "cell_done", dataset="german",
+                error_type="mislabels", model="log_reg", seconds=1.0,
+            ),
+        ],
+    )
+    snapshot = scan_run(store_path, now=10_000.0)
+    assert snapshot.complete
+    assert snapshot.eta_seconds is None
+    assert all(not worker.stalled for worker in snapshot.workers)
+
+
+def test_poisoned_cells_count_toward_completion(tmp_path):
+    store_path = tmp_path / "study.json"
+    write_events(
+        tmp_path / "study.trace.jsonl", [planned_event(100.0, units=2, cells=2)]
+    )
+    (tmp_path / "study.failures.jsonl").write_text(
+        json.dumps(
+            {
+                "dataset": "german",
+                "error_type": "mislabels",
+                "repetition": 0,
+                "attempts": 3,
+                "error": "RuntimeError: dead",
+                "pending_cells": [["log_reg", 0], ["knn", 0]],
+            }
+        )
+        + "\n"
+    )
+    snapshot = scan_run(store_path, now=200.0)
+    assert snapshot.cells_poisoned == 2
+    assert snapshot.complete  # nothing left to wait for
+
+
+def test_scan_counts_store_and_journal_records(run_dir, tmp_path):
+    (tmp_path / "study.w2.jsonl").write_text(
+        json.dumps({"dataset": "german", "metrics": {"acc": 0.7}}) + "\n"
+        + '{"torn'  # in-flight torn tail is skipped, not fatal
+    )
+    snapshot = scan_run(run_dir, now=125.0)
+    assert snapshot.journal_records == 1
+    assert snapshot.store_records == 0
+
+
+def test_scan_empty_run(tmp_path):
+    snapshot = scan_run(tmp_path / "study.json", now=1.0)
+    assert isinstance(snapshot, ProgressSnapshot)
+    assert snapshot.planned_cells == 0
+    assert not snapshot.complete
+    assert snapshot.workers == []
+
+
+def test_render_progress_mentions_key_fields(run_dir):
+    text = render_progress(scan_run(run_dir, now=200.0, stall_after=60.0))
+    assert "cells: 2/4" in text
+    assert "eta:" in text
+    assert "german/mislabels/log_reg" in text
+    assert "STALLED" in text
+
+
+def test_snapshot_to_json_round_trips(run_dir):
+    payload = scan_run(run_dir, now=125.0).to_json()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["cells_done"] == 2
+    assert payload["throughput"]["german/mislabels/log_reg"]["cells"] == 1
+    assert payload["workers"][0]["track"] == "w2"
+
+
+def test_monitor_run_once_and_until_complete(run_dir, tmp_path):
+    lines = []
+    snapshot = monitor_run(run_dir, once=True, emit=lines.append)
+    assert not snapshot.complete
+    assert lines and "cells:" in lines[0]
+    # completing the run makes the polling loop exit on its own
+    write_events(
+        tmp_path / "study.trace.w4.jsonl",
+        [
+            heartbeat_event(
+                121.0, "w4", "cell_done", dataset="german",
+                error_type="mislabels", model="log_reg", seconds=1.0,
+            ),
+            heartbeat_event(
+                122.0, "w4", "cell_done", dataset="german",
+                error_type="mislabels", model="knn", seconds=1.0,
+            ),
+        ],
+    )
+    snapshot = monitor_run(run_dir, interval=0.01, emit=lambda _: None)
+    assert snapshot.complete
+    assert snapshot.cells_done == 4
+
+
+def test_trace_files_lists_main_then_shards(run_dir, tmp_path):
+    names = [path.name for path in trace_files(run_dir)]
+    assert names[0] == "study.trace.jsonl"
+    assert set(names[1:]) == {"study.trace.w2.jsonl", "study.trace.w3.jsonl"}

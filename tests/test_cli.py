@@ -360,3 +360,175 @@ def test_store_migrate_refuses_corrupt_store_unless_no_verify(tmp_path, capsys):
     assert main(["store-migrate", str(path)]) == 1
     assert "not migrating" in capsys.readouterr().out
     assert main(["store-migrate", str(path), "--no-verify"]) == 0
+
+
+# -- live telemetry commands --------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def telemetry_study(tmp_path_factory):
+    """One traced + memory-profiled study reused by the telemetry
+    command tests (monitor / obs-export / obs-diff / obs-report)."""
+    store_dir = tmp_path_factory.mktemp("telemetry")
+    store_path = str(store_dir / "store.json")
+    code = main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "1",
+            "--profile-memory",  # implies --trace
+        ]
+    )
+    assert code == 0
+    return store_path
+
+
+def test_profile_memory_implies_trace_and_annotates_spans(telemetry_study):
+    from repro.benchmark import ResultStore
+    from repro.obs import read_trace_events
+
+    store = ResultStore(telemetry_study)
+    assert store.verify() == []
+    trace_path = store.trace_path
+    assert trace_path.exists()
+    events = read_trace_events([trace_path])
+    assert any(event.get("name") == "heartbeat" for event in events)
+    assert any(
+        "mem_delta_bytes" in event.get("attrs", {})
+        for event in events
+        if event.get("kind") == "span"
+    )
+
+
+def test_monitor_once_and_json(telemetry_study, capsys):
+    import json
+
+    assert main(["monitor", telemetry_study, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "cells:" in out and "[COMPLETE]" in out
+    assert main(["monitor", telemetry_study, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["complete"] is True
+    assert payload["cells_done"] == payload["planned_cells"] > 0
+
+
+def test_monitor_without_trace_data(tmp_path, capsys):
+    assert main(["monitor", str(tmp_path / "none.json")]) == 1
+    assert "--trace" in capsys.readouterr().out
+
+
+def test_obs_export_default_and_explicit_output(telemetry_study, tmp_path, capsys):
+    import json
+    from pathlib import Path
+
+    assert main(["obs-export", telemetry_study]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+    default_output = Path(telemetry_study).with_suffix("")
+    default_output = default_output.parent / (default_output.name + ".trace.chrome.json")
+    payload = json.loads(default_output.read_text())
+    assert payload["traceEvents"]
+    assert {"X", "M"} <= {event["ph"] for event in payload["traceEvents"]}
+    explicit = tmp_path / "out.json"
+    assert main(["obs-export", telemetry_study, "--output", str(explicit)]) == 0
+    capsys.readouterr()
+    assert json.loads(explicit.read_text())["otherData"]["source"] == "repro.obs"
+
+
+def test_obs_export_without_trace_data(tmp_path, capsys):
+    assert main(["obs-export", str(tmp_path / "none.json")]) == 1
+    assert "--trace" in capsys.readouterr().out
+
+
+def test_obs_diff_self_is_quiet(telemetry_study, capsys):
+    import json
+
+    assert main(["obs-diff", telemetry_study, telemetry_study]) == 0
+    out = capsys.readouterr().out
+    assert "RUN DIFF" in out
+    assert "no changes beyond the noise thresholds" in out
+    assert (
+        main(
+            ["obs-diff", telemetry_study, telemetry_study, "--fail-on-regression"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["obs-diff", telemetry_study, telemetry_study, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["flagged"] == 0 and payload["entries"]
+
+
+def test_obs_diff_flags_synthetic_regression(tmp_path, capsys):
+    import json
+
+    for name, seconds in (("a", 1.0), ("b", 5.0)):
+        run_dir = tmp_path / name
+        run_dir.mkdir()
+        (run_dir / "study.trace.jsonl").write_text(
+            "\n".join(
+                json.dumps(
+                    {
+                        "v": 1,
+                        "kind": "span",
+                        "name": "cell",
+                        "path": "cell",
+                        "seconds": seconds,
+                    }
+                )
+                for _ in range(3)
+            )
+            + "\n"
+        )
+    store_a = str(tmp_path / "a" / "study.json")
+    store_b = str(tmp_path / "b" / "study.json")
+    assert (
+        main(["obs-diff", store_a, store_b, "--fail-on-regression"]) == 1
+    )
+    assert "cell.mean_seconds" in capsys.readouterr().out
+    assert main(["obs-diff", store_a, store_b]) == 0  # report-only default
+
+
+def test_obs_diff_without_trace_data(telemetry_study, tmp_path, capsys):
+    missing = str(tmp_path / "none.json")
+    assert main(["obs-diff", missing, telemetry_study]) == 1
+    assert "run A" in capsys.readouterr().out
+    assert main(["obs-diff", telemetry_study, missing]) == 1
+    assert "run B" in capsys.readouterr().out
+
+
+def test_obs_report_json_output(telemetry_study, capsys):
+    import json
+
+    assert main(["obs-report", telemetry_study, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_events"] > 0
+    assert payload["heartbeats"] > 0
+    assert payload["peak_rss_bytes"] > 0
+    assert "cell" in payload["memory"]
+
+
+@pytest.mark.parametrize(
+    "argv,flag",
+    [
+        (["monitor", "s.json", "--interval", "0"], "--interval"),
+        (["monitor", "s.json", "--interval", "-1"], "--interval"),
+        (["monitor", "s.json", "--stall-after", "0"], "--stall-after"),
+        (["obs-export", "s.json", "--format", "speedscope"], "--format"),
+        (["obs-diff", "a.json"], "store_b"),
+        (["obs-diff", "a.json", "b.json", "--threshold", "nope"], "--threshold"),
+    ],
+)
+def test_telemetry_flags_rejected_with_message(capsys, argv, flag):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert flag in capsys.readouterr().err
