@@ -2,9 +2,10 @@
 
 Runs the same small serial study (german / mislabels at smoke scale)
 with tracing off and on — the traced arm now includes the runner's
-per-cell heartbeat events — in-memory store either way, and records
-the wall-clock overhead fraction in ``BENCH_obs.json`` at the repo
-root. The design target is < 3% overhead; the check is a *soft* one (a
+per-cell heartbeat events *and* the per-record ``fairness`` events
+(confusion-count reconstruction + disparity metrics per group) — in-
+memory store either way, and records the wall-clock overhead fraction
+in ``BENCH_obs.json`` at the repo root. The design target is < 3% overhead; the check is a *soft* one (a
 ``UserWarning``, not a failure) because a noisy shared box can swing a
 sub-second study by more than that, and the artifact's trajectory
 across commits is the real signal. Set ``REPRO_OBS_OVERHEAD_ENFORCE=1``
@@ -58,6 +59,11 @@ def _merge_artifact(update: dict) -> None:
 
 def _run_study(trace_path) -> float:
     """One serial smoke study; returns wall seconds."""
+    seconds, _store = _run_study_with_store(trace_path)
+    return seconds
+
+
+def _run_study_with_store(trace_path) -> tuple[float, ResultStore]:
     definition, table = load_dataset("german", n_rows=600, seed=0)
     store = ResultStore()
     runner = ExperimentRunner(OVERHEAD_CONFIG, store)
@@ -75,7 +81,7 @@ def _run_study(trace_path) -> float:
             )
     seconds = time.perf_counter() - started
     assert len(store) == OVERHEAD_CONFIG.n_repetitions
-    return seconds
+    return seconds, store
 
 
 def test_tracing_overhead(tmp_path):
@@ -141,6 +147,49 @@ def test_export_and_diff_timings(tmp_path):
                 "export_s": export_seconds,
                 "diff_quantities": len(diff.entries),
                 "diff_s": diff_seconds,
+            }
+        }
+    )
+
+
+def test_fairness_audit_timing(tmp_path):
+    """Time the fairness surfaces the observatory added.
+
+    The traced arm of the overhead gate already pays for per-record
+    ``fairness`` event emission; this pins the post-hoc side — folding
+    a store into a :class:`FairnessAudit` and self-diffing it (the
+    obs-audit hot path) — as absolute seconds in the artifact, plus
+    the emitted event count as a schema canary.
+    """
+    from repro.obs import build_audit, diff_audits
+
+    trace_path = tmp_path / "bench.trace.jsonl"
+    _seconds, store = _run_study_with_store(trace_path)
+
+    fairness_events = sum(
+        1
+        for event in obs.read_trace_events([trace_path])
+        if event.get("name") == "fairness"
+    )
+    assert fairness_events == len(store)  # one per record, always
+
+    started = time.perf_counter()
+    audit = build_audit(store)
+    audit_seconds = time.perf_counter() - started
+    assert audit.n_records == len(store)
+
+    started = time.perf_counter()
+    diff = diff_audits(audit, audit)
+    diff_seconds = time.perf_counter() - started
+    assert diff.regressions == []  # self-diff is always clean
+
+    _merge_artifact(
+        {
+            "fairness": {
+                "events_per_record": 1,
+                "trace_events": fairness_events,
+                "audit_s": audit_seconds,
+                "self_diff_s": diff_seconds,
             }
         }
     )

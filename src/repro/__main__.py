@@ -11,6 +11,8 @@ Subcommands::
     python -m repro monitor STORE                 # tail an in-flight run
     python -m repro obs-export STORE              # Perfetto-viewable trace
     python -m repro obs-diff STORE_A STORE_B      # cross-run regression diff
+    python -m repro obs-audit STORE [--baseline REF]   # fairness audit/gate
+    python -m repro obs-baseline {record,pin,list,export} STORE  # run ledger
 """
 
 from __future__ import annotations
@@ -95,7 +97,7 @@ def _cmd_rq1(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    config = StudyConfig(
+    config_kwargs = dict(
         n_sample=args.n_sample,
         test_fraction=args.test_fraction,
         n_repetitions=args.repetitions,
@@ -103,6 +105,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
         workers=args.workers,
         incremental=args.incremental,
     )
+    if args.models:
+        config_kwargs["models"] = tuple(args.models)
+    config = StudyConfig(**config_kwargs)
     store = ResultStore(args.store)
     names = [args.dataset] if args.dataset else list(DATASET_NAMES)
     error_types = (
@@ -130,6 +135,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             fsync_journal=args.fsync_journal,
             trace=trace,
             profile_memory=args.profile_memory,
+            ledger=args.ledger,
         )
         total = run_parallel_study(
             config,
@@ -150,6 +156,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
             print(f"{name}/{error_type}: +{added}", flush=True)
             if added:
                 store.save()
+    if args.ledger and store.path is not None:
+        from repro.obs import record_run
+
+        entry = record_run(store, config=config)
+        print(f"ledgered run {entry['run_id']}")
     print(f"added {total} records ({len(store)} in store)")
     return 0
 
@@ -345,6 +356,140 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 1 if args.fail_on_regression and diff.flagged else 0
 
 
+def _cmd_obs_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        DEFAULT_RULES,
+        build_audit,
+        diff_audits,
+        evaluate_rules,
+        load_rules,
+        render_audit,
+        render_audit_diff,
+        resolve_baseline,
+    )
+
+    if args.fail_on_fairness_regression and not args.baseline:
+        print("--fail-on-fairness-regression requires --baseline")
+        return 2
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        print(f"store {args.store} is empty; run `python -m repro study` first")
+        return 1
+    audit = build_audit(store)
+    rules = load_rules(args.rules) if args.rules else DEFAULT_RULES
+    alerts = evaluate_rules(rules, audit)
+    diff = None
+    if args.baseline:
+        baseline = resolve_baseline(args.store, args.baseline)
+        if baseline is None:
+            print(
+                f"cannot resolve baseline {args.baseline!r}; pin one with "
+                "`python -m repro obs-baseline pin` or pass an exported "
+                "baseline file"
+            )
+            return 1
+        diff = diff_audits(
+            baseline,
+            audit,
+            threshold=args.threshold,
+            min_gap=args.min_gap,
+            alpha=args.alpha,
+        )
+    if args.markdown:
+        from repro.reporting import render_fairness_audit
+
+        document = render_fairness_audit(
+            audit, diff=diff, alerts=alerts, title=f"Fairness audit: {args.store}"
+        )
+        with open(args.markdown, "w") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.markdown}")
+    if args.json:
+        payload: dict = {
+            "audit": audit.to_json(),
+            "alerts": [alert.to_json() for alert in alerts],
+        }
+        if diff is not None:
+            payload["diff"] = diff.to_json()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_audit(audit, alerts, top=args.top))
+        if diff is not None:
+            print()
+            print(render_audit_diff(diff, all_findings=args.all))
+    if args.fail_on_fairness_regression and diff is not None and diff.regressions:
+        return 3
+    return 0
+
+
+def _cmd_obs_baseline(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        export_baseline,
+        ledger_path,
+        pin_baseline,
+        pins,
+        record_run,
+        runs,
+    )
+
+    if args.action == "record":
+        store = ResultStore(args.store)
+        if len(store) == 0:
+            print(
+                f"store {args.store} is empty; run `python -m repro study` first"
+            )
+            return 1
+        entry = record_run(store)
+        print(
+            f"ledgered run {entry['run_id']} "
+            f"({entry['n_records']} records) in {ledger_path(args.store)}"
+        )
+        return 0
+    if args.action == "pin":
+        if not args.name:
+            print("pin requires --name")
+            return 2
+        try:
+            entry = pin_baseline(args.store, args.name, run_id=args.run)
+        except LookupError as error:
+            print(str(error))
+            return 1
+        print(f"pinned {args.name!r} -> run {entry['run_id']}")
+        return 0
+    if args.action == "export":
+        if not args.output:
+            print("export requires --output")
+            return 2
+        try:
+            entry = export_baseline(args.store, args.output, run_id=args.run)
+        except LookupError as error:
+            print(str(error))
+            return 1
+        print(f"exported run {entry['run_id']} to {args.output}")
+        return 0
+    # list
+    path = ledger_path(args.store)
+    known = runs(path)
+    if not known:
+        print(f"no runs recorded in {path}")
+        return 1
+    pinned = pins(path)
+    names = {run_id: [] for run_id in pinned.values()}
+    for name, run_id in pinned.items():
+        names.setdefault(run_id, []).append(name)
+    for entry in known:
+        labels = names.get(entry["run_id"], [])
+        suffix = f"  [{', '.join(sorted(labels))}]" if labels else ""
+        fingerprint = entry.get("fingerprint") or "-"
+        print(
+            f"{entry['run_id']}  records={entry['n_records']} "
+            f"fingerprint={fingerprint}{suffix}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ICDE 2023 cleaning-vs-fairness reproduction"
@@ -436,6 +581,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample tracemalloc deltas + RSS at unit/cell/featurize span "
         "boundaries (implies --trace; slower — tracemalloc instruments "
         "every allocation; results stay byte-identical)",
+    )
+    study.add_argument(
+        "--models",
+        nargs="+",
+        choices=("log_reg", "knn", "xgboost"),
+        default=None,
+        help="restrict the study to these models (default: all three)",
+    )
+    study.add_argument(
+        "--ledger",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="append this run's fairness audit to the {store}.ledger.jsonl "
+        "run ledger after saving (sidecar only — store bytes are "
+        "unchanged; audit against it with `obs-audit`)",
     )
     study.set_defaults(func=_cmd_study)
 
@@ -566,6 +726,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any quantity is flagged (CI gate)",
     )
     obs_diff.set_defaults(func=_cmd_obs_diff)
+
+    obs_audit = sub.add_parser(
+        "obs-audit",
+        help="audit per-group fairness outcomes of a run, optionally "
+        "against a pinned/exported baseline, with a CI regression gate",
+    )
+    obs_audit.add_argument("store", help="result-store path of the run")
+    obs_audit.add_argument(
+        "--baseline",
+        help="baseline to diff against: an exported baseline file, "
+        "'latest', a pin name, or a run-id prefix from this store's "
+        "ledger",
+    )
+    obs_audit.add_argument(
+        "--threshold",
+        type=_positive_float,
+        default=0.10,
+        help="relative gap change required to flag a coordinate "
+        "(default 0.10)",
+    )
+    obs_audit.add_argument(
+        "--min-gap",
+        type=_positive_float,
+        default=0.02,
+        help="absolute gap-change floor in disparity points under which "
+        "differences count as noise (default 0.02)",
+    )
+    obs_audit.add_argument(
+        "--alpha",
+        type=_positive_float,
+        default=0.05,
+        help="significance level of the G² evidence gate (default 0.05)",
+    )
+    obs_audit.add_argument(
+        "--rules",
+        help="JSON alert-rule file (default: the built-in rules)",
+    )
+    obs_audit.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="number of worst widenings to list (default 10)",
+    )
+    obs_audit.add_argument(
+        "--all",
+        action="store_true",
+        help="print every compared coordinate, not only flagged ones",
+    )
+    obs_audit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the audit (and diff) as JSON instead of plain text",
+    )
+    obs_audit.add_argument(
+        "--markdown",
+        help="also write a markdown audit report to this path",
+    )
+    obs_audit.add_argument(
+        "--fail-on-fairness-regression",
+        action="store_true",
+        help="exit 3 when any coordinate regresses vs the baseline "
+        "(CI gate; requires --baseline)",
+    )
+    obs_audit.set_defaults(func=_cmd_obs_audit)
+
+    obs_baseline = sub.add_parser(
+        "obs-baseline",
+        help="manage the append-only run ledger: record a run's audit, "
+        "pin named baselines, list runs, export a committed fixture",
+    )
+    obs_baseline.add_argument(
+        "action", choices=("record", "pin", "list", "export")
+    )
+    obs_baseline.add_argument("store", help="result-store path of the run")
+    obs_baseline.add_argument(
+        "--name", help="pin name (required by the pin action)"
+    )
+    obs_baseline.add_argument(
+        "--run",
+        help="run-id prefix to pin/export (default: the latest run)",
+    )
+    obs_baseline.add_argument(
+        "--output",
+        help="output path of the exported baseline (required by export)",
+    )
+    obs_baseline.set_defaults(func=_cmd_obs_baseline)
     return parser
 
 

@@ -16,6 +16,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.benchmark.results import ResultStore, RunRecord
+from repro.fairness.confusion import (
+    confusion_from_store_keys,
+    group_key_fragments,
+)
 from repro.fairness.metrics import FAIRNESS_METRICS, FairnessMetric
 from repro.ml.metrics import ConfusionMatrix
 from repro.stats.impact import Impact, classify_impact
@@ -33,22 +37,13 @@ _IMPACT_ORDER = (Impact.WORSE, Impact.INSIGNIFICANT, Impact.BETTER)
 
 def _group_fragments(group_key: str) -> tuple[str, str]:
     """Result-store key fragments for a group spec key."""
-    if "_x_" in group_key:
-        first, second = group_key.split("_x_", 1)
-        return f"{first}_priv__{second}_priv", f"{first}_dis__{second}_dis"
-    return f"{group_key}_priv", f"{group_key}_dis"
+    return group_key_fragments(group_key)
 
 
 def _confusion_from_metrics(
     metrics: dict, technique: str, fragment: str
 ) -> ConfusionMatrix | None:
-    cells = {}
-    for cell in ("tn", "fp", "fn", "tp"):
-        key = f"{technique}__{fragment}__{cell}"
-        if key not in metrics:
-            return None
-        cells[cell] = int(metrics[key])
-    return ConfusionMatrix(**cells)
+    return confusion_from_store_keys(metrics, technique, fragment)
 
 
 def fairness_value(

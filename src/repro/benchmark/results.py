@@ -437,9 +437,10 @@ class ResultStore:
         """Existing journal shard files for this store, sorted by name.
 
         The ``{stem}.failures.jsonl`` sidecar (poisoned work units, see
-        :mod:`repro.benchmark.parallel`) and the ``{stem}.trace*.jsonl``
-        observability shards (see :mod:`repro.obs`) are not record
-        journals and are excluded.
+        :mod:`repro.benchmark.parallel`), the ``{stem}.trace*.jsonl``
+        observability shards (see :mod:`repro.obs`) and the
+        ``{stem}.ledger.jsonl`` run ledger (:mod:`repro.obs.ledger`)
+        are not record journals and are excluded.
         """
         if self._path is None:
             return []
@@ -447,10 +448,13 @@ class ResultStore:
         parent = self._path.parent
         failures = self.failures_path
         trace_prefix = f"{stem}.trace."
+        ledger = f"{stem}.ledger.jsonl"
         paths = sorted(
             path
             for path in parent.glob(f"{stem}.*.jsonl")
-            if path != failures and not path.name.startswith(trace_prefix)
+            if path != failures
+            and not path.name.startswith(trace_prefix)
+            and path.name != ledger
         )
         default = parent / f"{stem}.jsonl"
         if default.exists():
@@ -465,6 +469,13 @@ class ResultStore:
         return self._path.parent / f"{self._path.stem}.failures.jsonl"
 
     # -- observability sidecars ------------------------------------------
+
+    @property
+    def ledger_path(self) -> Path | None:
+        """The append-only run ledger ``{stem}.ledger.jsonl``."""
+        if self._path is None:
+            return None
+        return self._path.parent / f"{self._path.stem}.ledger.jsonl"
 
     @property
     def trace_path(self) -> Path | None:
@@ -566,12 +577,27 @@ class ResultStore:
 
         Returns a :class:`repro.obs.RunHealth` folding every trace
         event (compacted and still-sharded alike) together with the
-        poisoned-unit sidecar. An untraced store yields an empty —
-        but well-formed — summary.
+        poisoned-unit sidecar. A store produced without tracing (e.g.
+        ``--no-trace``) yields an empty but well-formed summary whose
+        ``untraced`` flag is set, so callers can distinguish "nothing
+        happened" from "nothing was recorded".
         """
         from repro.obs import load_health
 
-        return load_health(self.trace_paths(), self.failures_path)
+        trace_paths = self.trace_paths()
+        health = load_health(trace_paths, self.failures_path)
+        health.untraced = not trace_paths
+        return health
+
+    def fairness_audit(self):
+        """This store's :class:`repro.obs.FairnessAudit` summary.
+
+        Works on traced and untraced stores alike — the audit reads
+        the stored confusion counts, not the trace.
+        """
+        from repro.obs import build_audit
+
+        return build_audit(self)
 
     def journal_writer(self, shard: str | None = None) -> JournalWriter:
         """An append-only writer for this store's journal.

@@ -15,12 +15,16 @@ from repro.fairness.groups import (
 )
 from repro.fairness.confusion import (
     GroupConfusion,
+    confusion_from_store_keys,
     group_confusion_matrices,
     group_confusions_from_masks,
+    group_key_fragments,
+    group_keys_in_metrics,
     group_masks,
     result_store_keys,
 )
 from repro.fairness.metrics import (
+    ALL_FAIRNESS_METRICS,
     FAIRNESS_METRICS,
     accuracy_parity,
     demographic_parity,
@@ -36,8 +40,11 @@ __all__ = [
     "IntersectionalSpec",
     "Comparison",
     "GroupConfusion",
+    "confusion_from_store_keys",
     "group_confusion_matrices",
     "group_confusions_from_masks",
+    "group_key_fragments",
+    "group_keys_in_metrics",
     "group_masks",
     "result_store_keys",
     "predictive_parity",
@@ -47,4 +54,5 @@ __all__ = [
     "false_positive_rate_parity",
     "accuracy_parity",
     "FAIRNESS_METRICS",
+    "ALL_FAIRNESS_METRICS",
 ]

@@ -130,6 +130,60 @@ def group_confusion_matrices(
     return confusion
 
 
+def group_key_fragments(group_key: str) -> tuple[str, str]:
+    """(privileged, disadvantaged) store-key fragments for a group key.
+
+    ``sex`` → ``("sex_priv", "sex_dis")``; the intersectional
+    ``sex_x_age`` → ``("sex_priv__age_priv", "sex_dis__age_dis")``.
+    """
+    if "_x_" in group_key:
+        first, second = group_key.split("_x_", 1)
+        return f"{first}_priv__{second}_priv", f"{first}_dis__{second}_dis"
+    return f"{group_key}_priv", f"{group_key}_dis"
+
+
+def confusion_from_store_keys(
+    metrics: dict, technique: str, fragment: str
+) -> ConfusionMatrix | None:
+    """Rebuild one group's confusion matrix from stored metric keys.
+
+    Returns None when any of the four ``{technique}__{fragment}__*``
+    count keys is absent (e.g. asking a dirty-only record about a
+    repair it never ran).
+    """
+    cells = {}
+    for cell in ("tn", "fp", "fn", "tp"):
+        key = f"{technique}__{fragment}__{cell}"
+        if key not in metrics:
+            return None
+        cells[cell] = int(metrics[key])
+    return ConfusionMatrix(**cells)
+
+
+def group_keys_in_metrics(metrics: dict, technique: str) -> list[str]:
+    """Recover the group keys a record stored counts for, sorted.
+
+    The inverse of :func:`result_store_keys`'s naming: scans for
+    ``{technique}__{fragment}__tp`` keys and maps fragments back to
+    group keys (``sex_priv`` → ``sex``, ``sex_priv__age_priv`` →
+    ``sex_x_age``).
+    """
+    keys: set[str] = set()
+    prefix = f"{technique}__"
+    suffix = "__tp"
+    for metric_key in metrics:
+        if not metric_key.startswith(prefix) or not metric_key.endswith(suffix):
+            continue
+        fragment = metric_key[len(prefix) : -len(suffix)]
+        parts = fragment.split("__")
+        if all(part.endswith("_priv") for part in parts):
+            if len(parts) == 1:
+                keys.add(parts[0][: -len("_priv")])
+            elif len(parts) == 2:
+                keys.add("_x_".join(part[: -len("_priv")] for part in parts))
+    return sorted(keys)
+
+
 def result_store_keys(
     technique: str, group: GroupConfusion
 ) -> dict[str, int]:
@@ -142,13 +196,7 @@ def result_store_keys(
     For an intersectional spec with key ``sex_x_age`` the fragments
     become ``sex_priv__age_priv`` and ``sex_dis__age_dis``.
     """
-    if "_x_" in group.group_key:
-        first, second = group.group_key.split("_x_", 1)
-        priv_fragment = f"{first}_priv__{second}_priv"
-        dis_fragment = f"{first}_dis__{second}_dis"
-    else:
-        priv_fragment = f"{group.group_key}_priv"
-        dis_fragment = f"{group.group_key}_dis"
+    priv_fragment, dis_fragment = group_key_fragments(group.group_key)
     keys: dict[str, int] = {}
     for fragment, matrix in (
         (priv_fragment, group.privileged),

@@ -23,6 +23,14 @@ to this reproduction):
   ``--profile-memory``.
 - :mod:`repro.obs.diff` — noise-aware cross-run regression diffs over
   trace sidecars: ``python -m repro obs-diff``.
+- :mod:`repro.obs.audit` — fairness outcomes as first-class telemetry:
+  per-cell ``fairness`` events, :class:`FairnessAudit` run summaries,
+  and baseline diffs with dual noise thresholds plus a G² evidence
+  gate: ``python -m repro obs-audit``.
+- :mod:`repro.obs.ledger` — the append-only ``{stem}.ledger.jsonl``
+  run ledger with pinned baselines: ``python -m repro obs-baseline``.
+- :mod:`repro.obs.rules` — declarative fairness alert rules evaluated
+  live by the monitor and post-hoc by ``obs-audit`` / ``obs-report``.
 
 Instrumentation is threaded through the hot layers (experiment
 runner, parallel executor, grid search, cleaning detectors/repairers,
@@ -32,6 +40,19 @@ byte-identical with tracing on or off — trace events live in sidecar
 shards (``{stem}.trace*.jsonl``) that never touch the result store.
 """
 
+from repro.obs.audit import (
+    AUDIT_METRICS,
+    AuditDiff,
+    AuditFinding,
+    FairnessAudit,
+    GroupAudit,
+    build_audit,
+    cell_fairness,
+    diff_audits,
+    evaluate_rules,
+    render_audit,
+    render_audit_diff,
+)
 from repro.obs.diff import (
     DiffEntry,
     RunDiff,
@@ -44,6 +65,19 @@ from repro.obs.export import (
     EXPORT_FORMATS,
     export_trace,
     to_chrome_trace,
+)
+from repro.obs.ledger import (
+    LEDGER_SUFFIX,
+    config_fingerprint,
+    export_baseline,
+    ledger_path,
+    pin_baseline,
+    pins,
+    read_ledger,
+    record_run,
+    resolve_baseline,
+    run_id_for,
+    runs,
 )
 from repro.obs.metrics import (
     DURATION_BUCKETS,
@@ -64,6 +98,15 @@ from repro.obs.progress import (
     monitor_run,
     render_progress,
     scan_run,
+)
+from repro.obs.rules import (
+    DEFAULT_RULES,
+    RULE_KINDS,
+    Alert,
+    AlertRule,
+    dedupe_alerts,
+    evaluate_gaps,
+    load_rules,
 )
 from repro.obs.report import (
     RunHealth,
@@ -97,6 +140,35 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AUDIT_METRICS",
+    "AuditDiff",
+    "AuditFinding",
+    "FairnessAudit",
+    "GroupAudit",
+    "build_audit",
+    "cell_fairness",
+    "diff_audits",
+    "evaluate_rules",
+    "render_audit",
+    "render_audit_diff",
+    "LEDGER_SUFFIX",
+    "config_fingerprint",
+    "export_baseline",
+    "ledger_path",
+    "pin_baseline",
+    "pins",
+    "read_ledger",
+    "record_run",
+    "resolve_baseline",
+    "run_id_for",
+    "runs",
+    "DEFAULT_RULES",
+    "RULE_KINDS",
+    "Alert",
+    "AlertRule",
+    "dedupe_alerts",
+    "evaluate_gaps",
+    "load_rules",
     "DiffEntry",
     "RunDiff",
     "diff_runs",

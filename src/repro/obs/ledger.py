@@ -1,0 +1,245 @@
+"""Append-only run ledger with pinned fairness baselines.
+
+Every audited run appends one JSON line to ``{stem}.ledger.jsonl``
+next to the result store::
+
+    {"kind": "run", "run_id": ..., "ts": ..., "fingerprint": ...,
+     "n_records": ..., "audit": {FairnessAudit.to_json()}}
+
+The embedded audit summary makes a ledger entry self-contained: a
+baseline comparison never needs the baseline run's store (or even its
+machine). ``run_id`` is content-derived — the SHA-256 of the canonical
+audit JSON plus the config fingerprint — so identical runs share an
+id and a re-run that changed nothing is visibly the same run.
+
+Pins are ledger lines too (``{"kind": "pin", "name": ...,
+"run_id": ...}``), so the whole baseline history stays in one
+append-only file that crash-recovers like every other sidecar. The
+ledger is *not* a record journal: :meth:`ResultStore.journal_paths`
+and the monitor's journal counter exclude it explicitly.
+
+``python -m repro obs-baseline record|pin|list|export`` drives this
+module; ``obs-audit --baseline <ref>`` resolves a ref here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.audit import FairnessAudit, build_audit
+
+LEDGER_SUFFIX = ".ledger.jsonl"
+
+
+def ledger_path(store_path: str | Path) -> Path:
+    """The ledger sidecar path for a store manifest path."""
+    store_path = Path(store_path)
+    return store_path.parent / f"{store_path.stem}{LEDGER_SUFFIX}"
+
+
+def config_fingerprint(config: Any) -> str:
+    """Short content hash of a study configuration.
+
+    Uses ``repr`` — :class:`repro.benchmark.StudyConfig` is a frozen
+    dataclass whose repr covers every field — so two runs compare
+    "same config" without carrying the config object around.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+def _canonical_audit_json(audit: FairnessAudit) -> str:
+    return json.dumps(audit.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+def run_id_for(audit: FairnessAudit, fingerprint: str | None) -> str:
+    """Content-derived run id: same audit + config → same id."""
+    digest = hashlib.sha256()
+    digest.update(_canonical_audit_json(audit).encode("utf-8"))
+    digest.update((fingerprint or "").encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def read_ledger(path: str | Path) -> list[dict[str, Any]]:
+    """Parse ledger lines, tolerantly (torn tails are skipped)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: list[dict[str, Any]] = []
+    with path.open("r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and "kind" in payload:
+                entries.append(payload)
+    return entries
+
+
+def runs(path: str | Path) -> list[dict[str, Any]]:
+    """All run entries, in append order."""
+    return [entry for entry in read_ledger(path) if entry.get("kind") == "run"]
+
+
+def pins(path: str | Path) -> dict[str, str]:
+    """Pin name → run id (later pins override earlier ones)."""
+    mapping: dict[str, str] = {}
+    for entry in read_ledger(path):
+        if entry.get("kind") == "pin" and "name" in entry:
+            mapping[str(entry["name"])] = str(entry.get("run_id", ""))
+    return mapping
+
+
+def _append(path: Path, entry: dict[str, Any]) -> None:
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    with path.open("a") as handle:
+        handle.write(line + "\n")
+
+
+def record_run(
+    store,
+    config: Any | None = None,
+    audit: FairnessAudit | None = None,
+    now: float | None = None,
+) -> dict[str, Any]:
+    """Audit a store and append the run entry to its ledger.
+
+    ``store`` must be path-backed (the ledger lives next to the
+    manifest). Returns the appended entry.
+    """
+    if store.path is None:
+        raise RuntimeError("cannot ledger an in-memory store (no path)")
+    if audit is None:
+        audit = build_audit(store)
+    fingerprint = None if config is None else config_fingerprint(config)
+    entry = {
+        "kind": "run",
+        "run_id": run_id_for(audit, fingerprint),
+        "ts": time.time() if now is None else now,
+        "fingerprint": fingerprint,
+        "n_records": len(store),
+        "audit": audit.to_json(),
+    }
+    _append(ledger_path(store.path), entry)
+    return entry
+
+
+def pin_baseline(
+    store_path: str | Path,
+    name: str,
+    run_id: str | None = None,
+    now: float | None = None,
+) -> dict[str, Any]:
+    """Pin a run (default: the latest) under a name.
+
+    Raises :class:`LookupError` when the ledger has no runs or the
+    given run id matches none.
+    """
+    path = ledger_path(store_path)
+    known = runs(path)
+    if not known:
+        raise LookupError(f"no runs recorded in {path}")
+    if run_id is None:
+        run_id = str(known[-1]["run_id"])
+    elif not any(str(entry["run_id"]).startswith(run_id) for entry in known):
+        raise LookupError(f"no run {run_id!r} in {path}")
+    entry = {
+        "kind": "pin",
+        "name": name,
+        "run_id": run_id,
+        "ts": time.time() if now is None else now,
+    }
+    _append(path, entry)
+    return entry
+
+
+def _audit_from_entry(entry: dict[str, Any]) -> FairnessAudit:
+    return FairnessAudit.from_json(entry["audit"])
+
+
+def _from_file(path: Path) -> FairnessAudit | None:
+    """Load a baseline from an exported run file or a foreign ledger."""
+    if path.suffix == ".jsonl" or path.name.endswith(LEDGER_SUFFIX):
+        known = runs(path)
+        return _audit_from_entry(known[-1]) if known else None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if "audit" in payload:  # an exported run entry
+        return FairnessAudit.from_json(payload["audit"])
+    if "groups" in payload:  # a bare FairnessAudit
+        return FairnessAudit.from_json(payload)
+    return None
+
+
+def resolve_baseline(
+    store_path: str | Path, ref: str
+) -> FairnessAudit | None:
+    """Resolve a baseline reference to its audit.
+
+    ``ref`` may be, in precedence order: a path to an exported
+    baseline file (``obs-baseline export``) or another run's ledger;
+    ``latest``; a pin name; or a run-id prefix — the latter three
+    against this store's own ledger. Returns None when nothing
+    matches.
+    """
+    as_path = Path(ref)
+    if as_path.exists() and as_path.is_file():
+        return _from_file(as_path)
+    path = ledger_path(store_path)
+    known = runs(path)
+    if not known:
+        return None
+    if ref == "latest":
+        return _audit_from_entry(known[-1])
+    pinned = pins(path).get(ref)
+    if pinned is not None:
+        ref = pinned
+    for entry in reversed(known):
+        if str(entry["run_id"]).startswith(ref):
+            return _audit_from_entry(entry)
+    return None
+
+
+def export_baseline(
+    store_path: str | Path, output: str | Path, run_id: str | None = None
+) -> dict[str, Any]:
+    """Write one run entry (default: the latest) as a standalone JSON
+    file — the committed-fixture format the CI fairness gate pins.
+
+    ``run_id`` may be a pin name or a run-id prefix, matching the
+    references :func:`resolve_baseline` accepts. Strips the wall-clock
+    timestamp so the exported bytes are reproducible for identical
+    runs.
+    """
+    path = ledger_path(store_path)
+    known = runs(path)
+    if not known:
+        raise LookupError(f"no runs recorded in {path}")
+    entry = known[-1]
+    if run_id is not None:
+        pinned = pins(path).get(run_id)
+        if pinned is not None:
+            run_id = pinned
+        matches = [
+            candidate
+            for candidate in known
+            if str(candidate["run_id"]).startswith(run_id)
+        ]
+        if not matches:
+            raise LookupError(f"no run {run_id!r} in {path}")
+        entry = matches[-1]
+    exported = {key: value for key, value in entry.items() if key != "ts"}
+    output = Path(output)
+    output.write_text(json.dumps(exported, indent=2, sort_keys=True) + "\n")
+    return exported

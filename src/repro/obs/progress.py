@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs.report import read_failures, read_trace_events
+from repro.obs.rules import DEFAULT_RULES, AlertRule, dedupe_alerts, evaluate_gaps
 
 #: Heartbeat age (seconds) beyond which a worker is reported stalled.
 DEFAULT_STALL_AFTER = 60.0
@@ -99,6 +100,11 @@ class ProgressSnapshot:
         default_factory=dict
     )
     workers: list[WorkerStatus] = field(default_factory=list)
+    fairness_cells: int = 0
+    fairness: dict[tuple[str, str, str, str], dict[str, Any]] = field(
+        default_factory=dict
+    )
+    alerts: list[dict[str, Any]] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         """Flat JSON-serialisable representation."""
@@ -128,8 +134,14 @@ class ProgressSnapshot:
                 "cells_per_second",
                 "eta_seconds",
                 "complete",
+                "fairness_cells",
             )
         }
+        payload["fairness"] = {
+            "/".join(key): dict(stats)
+            for key, stats in sorted(self.fairness.items())
+        }
+        payload["alerts"] = [dict(alert) for alert in self.alerts]
         payload["throughput"] = {
             "/".join(key): dict(stats)
             for key, stats in sorted(self.throughput.items())
@@ -181,6 +193,7 @@ def _journal_record_count(store_path: Path) -> int:
         for path in parent.glob(f"{stem}.*.jsonl")
         if not path.name.startswith(f"{stem}.trace.")
         and path.name != f"{stem}.failures.jsonl"
+        and path.name != f"{stem}.ledger.jsonl"
     )
     for path in paths:
         if not path.exists():
@@ -217,19 +230,25 @@ def scan_run(
     store_path: str | Path,
     now: float | None = None,
     stall_after: float = DEFAULT_STALL_AFTER,
+    rules: "tuple[AlertRule, ...] | list[AlertRule] | None" = None,
 ) -> ProgressSnapshot:
     """Observe a (possibly in-flight) traced run, read-only.
 
     ``store_path`` is the store manifest path the study was launched
     with (``--store``); ``now`` overrides the snapshot clock for
-    deterministic tests.
+    deterministic tests. ``rules`` are the fairness alert rules
+    evaluated live against ``fairness`` events (default
+    :data:`repro.obs.rules.DEFAULT_RULES`).
     """
     store_path = Path(store_path)
     now = time.time() if now is None else now
+    if rules is None:
+        rules = DEFAULT_RULES
     snapshot = ProgressSnapshot(stem=str(store_path), now=now)
     events = read_trace_events(trace_files(store_path))
     worker_last: dict[str, tuple[float, str]] = {}
     worker_cells: dict[str, int] = {}
+    live_alerts: list[Any] = []
     for event in events:
         kind = event.get("kind")
         if kind == "metric":
@@ -278,6 +297,24 @@ def scan_run(
                 )
                 stats["cells"] += 1
                 stats["seconds"] += float(attrs.get("seconds", 0.0))
+        elif name == "fairness":
+            snapshot.fairness_cells += 1
+            _fold_fairness(snapshot, attrs)
+            if rules:
+                acc = attrs.get("acc", {})
+                live_alerts.extend(
+                    evaluate_gaps(
+                        rules,
+                        dataset=str(attrs.get("dataset", "?")),
+                        error_type=str(attrs.get("error_type", "?")),
+                        detection=str(attrs.get("detection", "?")),
+                        repair=str(attrs.get("repair", "?")),
+                        model=str(attrs.get("model", "?")),
+                        gaps=attrs.get("groups", {}),
+                        dirty_acc=acc.get("dirty"),
+                        repaired_acc=acc.get("repaired"),
+                    )
+                )
     failures = read_failures(
         store_path.parent / f"{store_path.stem}.failures.jsonl"
     )
@@ -287,16 +324,27 @@ def scan_run(
     snapshot.store_records = _store_record_count(store_path)
     snapshot.journal_records = _journal_record_count(store_path)
     if snapshot.started_ts > 0.0:
+        # a clock-skewed heartbeat can carry ts >= now; clamp instead
+        # of propagating a negative elapsed into the rate math
         snapshot.elapsed = max(0.0, now - snapshot.started_ts)
     if snapshot.elapsed > 0.0 and snapshot.cells_done > 0:
         snapshot.cells_per_second = snapshot.cells_done / snapshot.elapsed
+    # poisoned cells count toward completion: when every remaining
+    # cell was poisoned the run is over and there is no ETA — and the
+    # subtraction is clamped so over-counted failure sidecars (e.g. a
+    # unit poisoned after partial progress) cannot drive `remaining`
+    # negative
     remaining = max(
         0,
         snapshot.planned_cells - snapshot.cells_done - snapshot.cells_poisoned,
     )
     snapshot.complete = snapshot.planned_cells > 0 and remaining == 0
-    if not snapshot.complete and snapshot.cells_per_second > 0.0:
-        snapshot.eta_seconds = remaining / snapshot.cells_per_second
+    # the ETA exists only when there is work left AND an observed rate
+    # (a zero-elapsed heartbeat burst yields rate 0, never a division
+    # by zero), and is clamped non-negative
+    if not snapshot.complete and remaining > 0 and snapshot.cells_per_second > 0.0:
+        snapshot.eta_seconds = max(0.0, remaining / snapshot.cells_per_second)
+    snapshot.alerts = [alert.to_json() for alert in dedupe_alerts(live_alerts)]
     for key, stats in snapshot.throughput.items():
         stats["cells_per_second"] = (
             stats["cells"] / stats["seconds"] if stats["seconds"] > 0 else 0.0
@@ -317,6 +365,41 @@ def scan_run(
     return snapshot
 
 
+def _fold_fairness(snapshot: ProgressSnapshot, attrs: dict[str, Any]) -> None:
+    """Fold one ``fairness`` event into the live per-config deltas."""
+    key = (
+        str(attrs.get("dataset", "?")),
+        str(attrs.get("error_type", "?")),
+        str(attrs.get("model", "?")),
+        str(attrs.get("repair", "?")),
+    )
+    stats = snapshot.fairness.setdefault(
+        key,
+        {
+            "cells": 0,
+            "widened": 0,
+            "max_widening": 0.0,
+            "worst_group": "",
+            "worst_metric": "",
+        },
+    )
+    stats["cells"] += 1
+    cell_widened = False
+    for group, gaps in sorted(attrs.get("groups", {}).items()):
+        for metric, pair in sorted(gaps.items()):
+            if not pair or pair[0] is None or pair[1] is None:
+                continue
+            widening = abs(pair[1]) - abs(pair[0])
+            if widening > 0:
+                cell_widened = True
+            if widening > stats["max_widening"]:
+                stats["max_widening"] = widening
+                stats["worst_group"] = group
+                stats["worst_metric"] = metric
+    if cell_widened:
+        stats["widened"] += 1
+
+
 def _format_eta(seconds: float | None) -> str:
     if seconds is None:
         return "--"
@@ -331,7 +414,9 @@ def render_progress(snapshot: ProgressSnapshot) -> str:
     """Plain-text monitor view of one snapshot."""
     done = snapshot.cells_done
     total = snapshot.planned_cells
-    percent = 100.0 * done / total if total else 0.0
+    # a resumed run can replay more cell_done heartbeats than this
+    # run planned; clamp the display instead of reporting > 100%
+    percent = min(100.0, 100.0 * done / total) if total else 0.0
     lines = [
         f"run: {snapshot.stem}"
         + ("   [COMPLETE]" if snapshot.complete else ""),
@@ -353,6 +438,29 @@ def render_progress(snapshot: ProgressSnapshot) -> str:
                 f"  {'/'.join(key)}: {int(stats['cells'])} cells, "
                 f"{stats['cells_per_second']:.2f} cells/s"
             )
+    if snapshot.fairness:
+        lines.append(
+            f"fairness (live, {snapshot.fairness_cells} cells audited):"
+        )
+        ranked = sorted(
+            snapshot.fairness.items(),
+            key=lambda kv: (-kv[1]["max_widening"], kv[0]),
+        )
+        for key, stats in ranked[:5]:
+            detail = ""
+            if stats["max_widening"] > 0:
+                detail = (
+                    f", worst +{stats['max_widening']:.3f} "
+                    f"{stats['worst_metric']} on group {stats['worst_group']}"
+                )
+            lines.append(
+                f"  {'/'.join(key)}: {stats['widened']}/{stats['cells']} "
+                f"cells widened a gap{detail}"
+            )
+    if snapshot.alerts:
+        lines.append(f"fairness alerts ({len(snapshot.alerts)}):")
+        for alert in snapshot.alerts[:5]:
+            lines.append(f"  [{alert['rule']}] {alert['message']}")
     if snapshot.workers:
         lines.append("workers:")
         for worker in snapshot.workers:

@@ -106,8 +106,27 @@ class RunHealth:
         faults: Injected-fault firings by kind (chaos runs only).
         counters: All merged metric counters, keyed
             ``name{label=value,...}``.
+        gauges: All merged metric gauges, keyed the same way
+            (NaN-ignoring max across shards, see
+            :mod:`repro.obs.metrics`).
+        fairness_cells: ``fairness`` domain events observed (one per
+            evaluated cell on traced runs, see
+            :func:`repro.obs.audit.cell_fairness`).
+        fairness: Per audited metric abbreviation:
+            ``{"pairs", "widened", "max_widening"}`` — group×cell gap
+            pairs seen, how many the repair widened, and the largest
+            |repaired| − |dirty| widening.
+        worst_widenings: The largest per-cell gap widenings
+            (coordinate, group, metric, dirty/repaired gaps),
+            descending, untruncated — renderers cut to their own
+            top-N.
+        alerts: Fired :class:`repro.obs.rules.AlertRule` violations
+            (deduped per rule × coordinate, worst kept).
         failures: Parsed poisoned-unit sidecar entries.
         n_events: Total trace events consumed.
+        untraced: True when the summary was built for a store with no
+            trace sidecars at all (e.g. a ``--no-trace`` run) — an
+            explicitly-empty health object rather than a silent one.
     """
 
     phase_totals: dict[str, dict[str, float]] = field(default_factory=dict)
@@ -129,34 +148,64 @@ class RunHealth:
     backoff_seconds: float = 0.0
     faults: dict[str, int] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    fairness_cells: int = 0
+    fairness: dict[str, dict[str, float]] = field(default_factory=dict)
+    worst_widenings: list[dict[str, Any]] = field(default_factory=list)
+    alerts: list[dict[str, Any]] = field(default_factory=list)
     failures: list[dict[str, Any]] = field(default_factory=list)
     n_events: int = 0
+    untraced: bool = False
 
     def to_json(self) -> dict[str, Any]:
-        """Flat JSON-serialisable representation."""
-        return {
-            "phase_totals": self.phase_totals,
-            "model_seconds": self.model_seconds,
-            "detector_stats": self.detector_stats,
-            "repair_stats": self.repair_stats,
-            "slowest_cells": self.slowest_cells,
-            "tuning": self.tuning,
-            "cache": self.cache,
-            "reuse": self.reuse,
-            "cells_warm_started": self.cells_warm_started,
-            "retries": self.retries,
-            "recovered": self.recovered,
-            "poisoned": self.poisoned,
-            "timeouts": self.timeouts,
-            "heartbeats": self.heartbeats,
-            "memory": self.memory,
-            "peak_rss_bytes": self.peak_rss_bytes,
-            "backoff_seconds": self.backoff_seconds,
-            "faults": self.faults,
-            "counters": self.counters,
-            "failures": self.failures,
-            "n_events": self.n_events,
-        }
+        """Flat JSON-serialisable representation.
+
+        Every mapping (including nested ones) is emitted with sorted
+        keys, so the serialised bytes are identical regardless of the
+        order events were folded in — audit and ledger diffs of two
+        identical runs must never see ordering noise.
+        """
+        return _canonical(
+            {
+                "phase_totals": self.phase_totals,
+                "model_seconds": self.model_seconds,
+                "detector_stats": self.detector_stats,
+                "repair_stats": self.repair_stats,
+                "slowest_cells": self.slowest_cells,
+                "tuning": self.tuning,
+                "cache": self.cache,
+                "reuse": self.reuse,
+                "cells_warm_started": self.cells_warm_started,
+                "retries": self.retries,
+                "recovered": self.recovered,
+                "poisoned": self.poisoned,
+                "timeouts": self.timeouts,
+                "heartbeats": self.heartbeats,
+                "memory": self.memory,
+                "peak_rss_bytes": self.peak_rss_bytes,
+                "backoff_seconds": self.backoff_seconds,
+                "faults": self.faults,
+                "counters": self.counters,
+                "gauges": self.gauges,
+                "fairness_cells": self.fairness_cells,
+                "fairness": self.fairness,
+                "worst_widenings": self.worst_widenings,
+                "alerts": self.alerts,
+                "failures": self.failures,
+                "n_events": self.n_events,
+                "untraced": self.untraced,
+            }
+        )
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively sort mapping keys; lists keep their (already
+    deterministic) order."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
 
 
 def _counter_key(name: str, labels: dict[str, Any]) -> str:
@@ -169,23 +218,53 @@ def _counter_key(name: str, labels: dict[str, Any]) -> str:
 def build_health(
     events: Sequence[dict[str, Any]],
     failures: Sequence[dict[str, Any]] = (),
+    rules: Sequence[Any] | None = None,
 ) -> RunHealth:
-    """Fold trace events + sidecar entries into a :class:`RunHealth`."""
+    """Fold trace events + sidecar entries into a :class:`RunHealth`.
+
+    ``rules`` are :class:`repro.obs.rules.AlertRule` instances
+    evaluated against every ``fairness`` event (default:
+    :data:`repro.obs.rules.DEFAULT_RULES`).
+    """
+    from repro.obs.rules import DEFAULT_RULES, dedupe_alerts, evaluate_gaps
+
+    if rules is None:
+        rules = DEFAULT_RULES
     health = RunHealth(failures=list(failures), n_events=len(events))
     cells: list[dict[str, Any]] = []
+    alerts: list[Any] = []
     for event in events:
         kind = event.get("kind")
         if kind == "span":
             _fold_span(health, event, cells)
         elif kind == "event":
             _fold_event(health, event)
+            if event.get("name") == "fairness" and rules:
+                attrs = event.get("attrs", {})
+                acc = attrs.get("acc", {})
+                alerts.extend(
+                    evaluate_gaps(
+                        rules,
+                        dataset=str(attrs.get("dataset", "?")),
+                        error_type=str(attrs.get("error_type", "?")),
+                        detection=str(attrs.get("detection", "?")),
+                        repair=str(attrs.get("repair", "?")),
+                        model=str(attrs.get("model", "?")),
+                        gaps=attrs.get("groups", {}),
+                        dirty_acc=acc.get("dirty"),
+                        repaired_acc=acc.get("repaired"),
+                    )
+                )
+    health.alerts = [alert.to_json() for alert in dedupe_alerts(alerts)]
     for snapshot in merge_metric_events(
         [event for event in events if event.get("kind") == "metric"]
     ):
-        if snapshot["type"] != "counter":
-            continue
         name = snapshot["name"]
         labels = snapshot.get("labels", {})
+        if snapshot["type"] == "gauge":
+            health.gauges[_counter_key(name, labels)] = snapshot["value"]
+        if snapshot["type"] != "counter":
+            continue
         health.counters[_counter_key(name, labels)] = snapshot["value"]
         if name == "cache_hit":
             cache = health.cache.setdefault(
@@ -216,9 +295,27 @@ def build_health(
         total = reuse["hits"] + reuse["misses"]
         reuse["hit_rate"] = reuse["hits"] / total if total else float("nan")
     health.poisoned += len(health.failures)
+    # full tiebreak (not just -seconds) so the order — and therefore
+    # the serialised report bytes — is invariant under shard-file
+    # permutation, where equal-duration cells arrive in any order
     health.slowest_cells = sorted(
-        cells, key=lambda cell: -cell["seconds"]
+        cells,
+        key=lambda cell: (
+            -cell["seconds"],
+            json.dumps(cell, sort_keys=True, default=str),
+        ),
     )
+    health.worst_widenings.sort(
+        key=lambda entry: (
+            -entry["widening"],
+            entry["coordinate"],
+            entry["repaired_gap"],
+            entry["dirty_gap"],
+        )
+    )
+    # per-cell × group × metric samples; cap so a paper-scale run's
+    # health JSON stays readable (the full detail lives in the audit)
+    del health.worst_widenings[50:]
     return health
 
 
@@ -290,6 +387,36 @@ def _fold_event(health: RunHealth, event: dict[str, Any]) -> None:
             health.timeouts += 1
     elif name == "heartbeat":
         health.heartbeats += 1
+    elif name == "fairness":
+        health.fairness_cells += 1
+        coordinate = "/".join(
+            str(attrs.get(part, "?"))
+            for part in ("dataset", "error_type", "detection", "repair", "model")
+        )
+        for group, gaps in sorted(attrs.get("groups", {}).items()):
+            for metric, pair in sorted(gaps.items()):
+                if not pair or pair[1] is None:
+                    continue
+                stats = health.fairness.setdefault(
+                    metric, {"pairs": 0, "widened": 0, "max_widening": 0.0}
+                )
+                stats["pairs"] += 1
+                if pair[0] is None:
+                    continue
+                widening = abs(pair[1]) - abs(pair[0])
+                if widening > 0:
+                    stats["widened"] += 1
+                stats["max_widening"] = max(stats["max_widening"], widening)
+                health.worst_widenings.append(
+                    {
+                        "coordinate": f"{coordinate}/{group}/{metric}",
+                        "group": group,
+                        "metric": metric,
+                        "dirty_gap": abs(pair[0]),
+                        "repaired_gap": abs(pair[1]),
+                        "widening": widening,
+                    }
+                )
     elif name == "backoff_sleep":
         health.backoff_seconds += float(attrs.get("seconds", 0.0))
     elif name == "fault_injected":
@@ -346,6 +473,11 @@ def _table(
 def render_health_report(health: RunHealth, top: int = 10) -> str:
     """Plain-text run-health report (the ``obs-report`` output)."""
     lines: list[str] = ["RUN HEALTH", "=========="]
+    if health.untraced:
+        lines.append(
+            "untraced store: no trace sidecars were written (run with "
+            "--trace for telemetry)"
+        )
     lines.append(
         f"trace events: {health.n_events}   retries: {health.retries}   "
         f"recovered: {health.recovered}   poisoned: {health.poisoned}   "
@@ -353,6 +485,34 @@ def render_health_report(health: RunHealth, top: int = 10) -> str:
         f"heartbeats: {health.heartbeats}   "
         f"backoff: {_format_seconds(health.backoff_seconds)}"
     )
+    if health.fairness:
+        lines += [
+            "",
+            f"Fairness telemetry ({health.fairness_cells} cells audited)",
+        ]
+        rows = [
+            (
+                metric,
+                str(int(stats["pairs"])),
+                str(int(stats["widened"])),
+                f"{stats['max_widening']:+.3f}",
+            )
+            for metric, stats in sorted(health.fairness.items())
+        ]
+        lines += _table(
+            ("metric", "gap pairs", "widened by repair", "max widening"), rows
+        )
+        if health.worst_widenings:
+            lines.append("worst gap widenings (repaired vs dirty):")
+            for entry in health.worst_widenings[:5]:
+                lines.append(
+                    f"  {entry['coordinate']}: {entry['dirty_gap']:.3f} -> "
+                    f"{entry['repaired_gap']:.3f} ({entry['widening']:+.3f})"
+                )
+    if health.alerts:
+        lines += ["", f"Fairness alerts ({len(health.alerts)})"]
+        for alert in health.alerts:
+            lines.append(f"  [{alert['rule']}] {alert['message']}")
     if health.memory:
         lines += [
             "",

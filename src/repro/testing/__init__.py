@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.benchmark import ExecutorOptions, ResultStore, run_parallel_study
+from repro.testing.regressions import inject_fairness_regression
 from repro.testing.faults import (
     APPEND_FAULT_KINDS,
     FAULT_KINDS,
@@ -80,5 +81,6 @@ __all__ = [
     "SimulatedWorkerCrash",
     "TransientCellError",
     "UnitInjector",
+    "inject_fairness_regression",
     "truncate_tail",
 ]

@@ -60,6 +60,32 @@ def test_health_of_untraced_store_is_empty(tmp_path):
     assert ResultStore().health().n_events == 0  # in-memory store too
 
 
+def test_untraced_store_health_is_explicitly_marked(tmp_path):
+    """A --no-trace run yields an explicit "untraced" health object,
+    not one indistinguishable from an idle traced run."""
+    store = ResultStore(tmp_path / "study.json")
+    store.add(make_record())
+    store.save()
+    health = store.health()
+    assert health.untraced is True
+    assert health.to_json()["untraced"] is True
+    assert ResultStore().health().untraced is True
+    # the moment trace events exist the marker clears
+    write_events(tmp_path / "study.trace.jsonl", [span_event("unit")])
+    assert store.health().untraced is False
+
+
+def test_ledger_sidecar_never_counts_as_a_journal(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    store.add(make_record())
+    store.save()
+    (tmp_path / "study.ledger.jsonl").write_text(
+        json.dumps({"kind": "run", "run_id": "abc", "audit": {}}) + "\n"
+    )
+    assert store.journal_paths() == []
+    assert store.verify() == []
+
+
 def test_trace_paths_main_first_then_sorted_shards(tmp_path):
     store = ResultStore(tmp_path / "study.json")
     for name in ("study.trace.w9.jsonl", "study.trace.w10.jsonl"):

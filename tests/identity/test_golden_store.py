@@ -76,3 +76,46 @@ def test_store_bytes_match_golden_with_full_telemetry(tmp_path):
         f"store bytes diverged from golden in {diverged} with telemetry "
         "enabled; heartbeats and memory profiling must be byte-invisible"
     )
+
+
+def test_store_bytes_match_golden_with_fairness_telemetry_and_ledger(tmp_path):
+    """Fairness events + the run ledger must be byte-invisible too.
+
+    The golden slice runs with tracing on (which now emits a
+    ``fairness`` event per record) and its audit appended to the run
+    ledger; the store fingerprint must stay identical to the fixture —
+    fairness telemetry lives in trace sidecars and the ledger only.
+    A second audit of the identical bytes must also diff clean.
+    """
+    from repro.obs import build_audit, diff_audits, record_run
+
+    store_path = tmp_path / "study.json"
+    store = ResultStore(store_path)
+    runner = ExperimentRunner(chaos_config(), store)
+    with obs.scoped(tmp_path / "study.trace.jsonl"):
+        runner.run_dataset_error("german", "mislabels")
+        store.save()
+    record_run(store, config=chaos_config())
+
+    events = obs.read_trace_events([tmp_path / "study.trace.jsonl"])
+    fairness_events = [e for e in events if e.get("name") == "fairness"]
+    assert len(fairness_events) == len(store)
+    assert (tmp_path / "study.ledger.jsonl").exists()
+    assert store.journal_paths() == []  # the ledger is not a journal
+
+    actual = store_fingerprint(store_path)
+    golden = store_fingerprint(GOLDEN)
+    assert actual.keys() == golden.keys()
+    diverged = [name for name in golden if actual[name] != golden[name]]
+    assert not diverged, (
+        f"store bytes diverged from golden in {diverged} with fairness "
+        "telemetry and the run ledger enabled; fairness outcomes must "
+        "only ever land in sidecars"
+    )
+
+    # self-diff discipline: auditing the same bytes twice reports
+    # nothing — the CI gate can never flag an unchanged run
+    audit = build_audit(store)
+    diff = diff_audits(audit, build_audit(ResultStore(store_path)))
+    assert diff.findings and diff.regressions == []
+    assert all(f.p_value == 1.0 for f in diff.findings)

@@ -1,0 +1,169 @@
+"""Tests for the append-only run ledger (repro.obs.ledger)."""
+
+import json
+
+import pytest
+
+from repro.benchmark import ResultStore, RunRecord
+from repro.obs import (
+    build_audit,
+    config_fingerprint,
+    export_baseline,
+    ledger_path,
+    pin_baseline,
+    pins,
+    read_ledger,
+    record_run,
+    resolve_baseline,
+    run_id_for,
+    runs,
+)
+
+
+def confusion_keys(technique, fragment, tn, fp, fn, tp):
+    return {
+        f"{technique}__{fragment}__tn": tn,
+        f"{technique}__{fragment}__fp": fp,
+        f"{technique}__{fragment}__fn": fn,
+        f"{technique}__{fragment}__tp": tp,
+    }
+
+
+def make_record(repetition=0, repaired_dis=(9, 1, 7, 3)):
+    metrics = {"dirty_test_acc": 0.8, "impute_mean_mode_test_acc": 0.75}
+    metrics.update(confusion_keys("dirty", "sex_priv", 5, 5, 5, 5))
+    metrics.update(confusion_keys("dirty", "sex_dis", 8, 2, 6, 4))
+    metrics.update(confusion_keys("impute_mean_mode", "sex_priv", 5, 5, 5, 5))
+    metrics.update(confusion_keys("impute_mean_mode", "sex_dis", *repaired_dis))
+    return RunRecord(
+        dataset="german",
+        error_type="missing_values",
+        detection="simple",
+        repair="impute_mean_mode",
+        model="log_reg",
+        repetition=repetition,
+        tuning_seed=0,
+        metrics=metrics,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "study.json")
+    store.add(make_record())
+    store.save()
+    return store
+
+
+def test_record_run_appends_self_contained_entry(store):
+    entry = record_run(store, config={"n_sample": 100}, now=1_000.0)
+    path = ledger_path(store.path)
+    assert path.name == "study.ledger.jsonl"
+    assert path.exists()
+    (loaded,) = runs(path)
+    assert loaded["kind"] == "run"
+    assert loaded["run_id"] == entry["run_id"]
+    assert loaded["n_records"] == 1
+    # the audit is embedded: baselines resolve without the old store
+    assert loaded["audit"]["groups"][0]["group"] == "sex"
+
+
+def test_record_run_requires_a_path():
+    with pytest.raises(RuntimeError, match="no path"):
+        record_run(ResultStore())
+
+
+def test_run_id_is_content_derived(store):
+    audit = build_audit(store)
+    fingerprint = config_fingerprint({"n": 1})
+    assert run_id_for(audit, fingerprint) == run_id_for(audit, fingerprint)
+    assert run_id_for(audit, fingerprint) != run_id_for(audit, None)
+    first = record_run(store, config={"n": 1}, now=1.0)
+    second = record_run(store, config={"n": 1}, now=2.0)
+    assert first["run_id"] == second["run_id"]  # identical run, same id
+
+
+def test_ledger_is_not_a_record_journal(store):
+    record_run(store)
+    assert store.journal_paths() == []
+    assert store.ledger_path.exists()
+
+
+def test_pin_and_resolve(store):
+    entry = record_run(store, now=1.0)
+    pin_baseline(store.path, "golden", now=2.0)
+    assert pins(ledger_path(store.path)) == {"golden": entry["run_id"]}
+    for ref in ("golden", "latest", entry["run_id"][:6]):
+        audit = resolve_baseline(store.path, ref)
+        assert audit is not None
+        assert audit.to_json() == build_audit(store).to_json()
+    assert resolve_baseline(store.path, "no-such-ref") is None
+
+
+def test_pin_unknown_run_raises(store):
+    with pytest.raises(LookupError):
+        pin_baseline(store.path, "golden")  # empty ledger
+    record_run(store)
+    with pytest.raises(LookupError):
+        pin_baseline(store.path, "golden", run_id="ffffffff")
+
+
+def test_resolve_latest_prefers_newest_run(store):
+    record_run(store, now=1.0)
+    store.add(make_record(repetition=1, repaired_dis=(10, 0, 8, 2)))
+    store.save()
+    newest = record_run(store, now=2.0)
+    audit = resolve_baseline(store.path, "latest")
+    assert audit.n_records == 2
+    assert run_id_for(audit, None) == newest["run_id"]
+
+
+def test_export_baseline_is_reproducible(store, tmp_path):
+    record_run(store, config={"n": 1}, now=123.0)
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    export_baseline(store.path, out_a)
+    export_baseline(store.path, out_b)
+    assert out_a.read_bytes() == out_b.read_bytes()
+    exported = json.loads(out_a.read_text())
+    assert "ts" not in exported  # wall clock stripped for committed fixtures
+    # an exported file resolves as a baseline ref directly
+    audit = resolve_baseline(store.path, str(out_a))
+    assert audit.to_json() == build_audit(store).to_json()
+
+
+def test_export_baseline_accepts_pin_names(store, tmp_path):
+    """The pin-then-export flow: `--run` takes the same refs
+    resolve_baseline does (pin name or run-id prefix)."""
+    record_run(store, config={"n": 1}, now=1.0)
+    pin_baseline(store.path, "approved", now=2.0)
+    out = tmp_path / "pinned.json"
+    exported = export_baseline(store.path, out, run_id="approved")
+    assert exported["run_id"] == runs(ledger_path(store.path))[-1]["run_id"]
+    assert resolve_baseline(store.path, str(out)) is not None
+    with pytest.raises(LookupError):
+        export_baseline(store.path, out, run_id="no-such-pin")
+
+
+def test_export_without_runs_raises(store):
+    with pytest.raises(LookupError):
+        export_baseline(store.path, "out.json")
+
+
+def test_read_ledger_tolerates_torn_tail(store):
+    record_run(store)
+    path = ledger_path(store.path)
+    with path.open("a") as handle:
+        handle.write('{"torn')
+    entries = read_ledger(path)
+    assert len(entries) == 1
+    assert runs(path)
+
+
+def test_resolve_against_another_stores_ledger(store, tmp_path):
+    record_run(store, now=1.0)
+    audit = resolve_baseline(
+        tmp_path / "other.json", str(ledger_path(store.path))
+    )
+    assert audit is not None
+    assert audit.to_json() == build_audit(store).to_json()

@@ -232,3 +232,158 @@ def test_trace_files_lists_main_then_shards(run_dir, tmp_path):
     names = [path.name for path in trace_files(run_dir)]
     assert names[0] == "study.trace.jsonl"
     assert set(names[1:]) == {"study.trace.w2.jsonl", "study.trace.w3.jsonl"}
+
+
+def fairness_event(ts, track="w2", **overrides):
+    attrs = {
+        "dataset": "german",
+        "error_type": "mislabels",
+        "detection": "cleanlab",
+        "repair": "flip_labels",
+        "model": "log_reg",
+        "repetition": 0,
+        "seed": 0,
+        "acc": {"dirty": 0.8, "repaired": 0.7},
+        "groups": {
+            "sex": {"DP": [0.05, 0.25], "EO": [0.10, 0.05]},
+            "age": {"DP": [0.02, None]},
+        },
+    }
+    attrs.update(overrides)
+    return {
+        "v": 1,
+        "kind": "event",
+        "name": "fairness",
+        "ts": ts,
+        "w": track,
+        "attrs": attrs,
+    }
+
+
+# -- S1 regression tests: ETA edge cases ------------------------------
+
+
+def test_zero_elapsed_heartbeat_has_no_eta_and_no_crash(tmp_path):
+    """A heartbeat burst at the planning timestamp must not divide by
+    zero or report a rate/ETA."""
+    store_path = tmp_path / "study.json"
+    write_events(
+        tmp_path / "study.trace.jsonl",
+        [
+            planned_event(100.0, units=2, cells=4),
+            heartbeat_event(
+                100.0, "w1", "cell_done", dataset="german",
+                error_type="mislabels", model="log_reg", seconds=0.0,
+            ),
+        ],
+    )
+    snapshot = scan_run(store_path, now=100.0)
+    assert snapshot.elapsed == 0.0
+    assert snapshot.cells_per_second == 0.0
+    assert snapshot.eta_seconds is None
+    assert not snapshot.complete
+
+
+def test_clock_skew_never_yields_negative_elapsed(tmp_path):
+    store_path = tmp_path / "study.json"
+    write_events(
+        tmp_path / "study.trace.jsonl", [planned_event(100.0, units=1, cells=1)]
+    )
+    snapshot = scan_run(store_path, now=90.0)  # scanner clock behind writer
+    assert snapshot.elapsed == 0.0
+    assert snapshot.eta_seconds is None
+
+
+def test_all_remaining_cells_poisoned_completes_without_eta(tmp_path):
+    """Done + poisoned exceeding the plan (a retried unit poisoned
+    after partial progress) must clamp: complete, no negative ETA,
+    percent capped at 100 in the rendering."""
+    store_path = tmp_path / "study.json"
+    write_events(
+        tmp_path / "study.trace.jsonl",
+        [
+            planned_event(100.0, units=2, cells=2),
+            heartbeat_event(
+                101.0, "w1", "cell_done", dataset="german",
+                error_type="mislabels", model="log_reg", seconds=1.0,
+            ),
+        ],
+    )
+    (tmp_path / "study.failures.jsonl").write_text(
+        json.dumps(
+            {
+                "dataset": "german",
+                "error_type": "mislabels",
+                "repetition": 0,
+                "attempts": 3,
+                "error": "RuntimeError: dead",
+                "pending_cells": [["log_reg", 0], ["knn", 0]],
+            }
+        )
+        + "\n"
+    )
+    snapshot = scan_run(store_path, now=200.0)
+    assert snapshot.complete
+    assert snapshot.eta_seconds is None
+    assert "eta: -" in render_progress(snapshot)
+
+
+def test_render_clamps_replayed_heartbeats_to_100_percent(tmp_path):
+    """A resumed run can replay more cell_done heartbeats than this
+    run planned; the display caps at 100% instead of overflowing."""
+    store_path = tmp_path / "study.json"
+    done = [
+        heartbeat_event(
+            101.0 + i, "w1", "cell_done", dataset="german",
+            error_type="mislabels", model="log_reg", seconds=1.0,
+        )
+        for i in range(3)
+    ]
+    write_events(
+        tmp_path / "study.trace.jsonl",
+        [planned_event(100.0, units=1, cells=2), *done],
+    )
+    text = render_progress(scan_run(store_path, now=200.0))
+    assert "cells: 3/2 (100%)" in text
+
+
+# -- live fairness telemetry ------------------------------------------
+
+
+def test_scan_folds_fairness_events(run_dir, tmp_path):
+    write_events(
+        tmp_path / "study.trace.w4.jsonl",
+        [fairness_event(111.0), fairness_event(112.0, repetition=1)],
+    )
+    snapshot = scan_run(run_dir, now=125.0)
+    assert snapshot.fairness_cells == 2
+    key = ("german", "mislabels", "log_reg", "flip_labels")
+    stats = snapshot.fairness[key]
+    assert stats["cells"] == 2
+    assert stats["widened"] == 2
+    assert stats["max_widening"] == pytest.approx(0.20)
+    assert stats["worst_group"] == "sex"
+    assert stats["worst_metric"] == "DP"
+    # the sex/DP widening (0.05 -> 0.25) trips the default DP rule
+    assert any(alert["rule"] == "dp-not-widened" for alert in snapshot.alerts)
+
+
+def test_render_progress_shows_fairness_and_alerts(run_dir, tmp_path):
+    write_events(tmp_path / "study.trace.w4.jsonl", [fairness_event(111.0)])
+    text = render_progress(scan_run(run_dir, now=125.0))
+    assert "fairness (live, 1 cells audited):" in text
+    assert "german/mislabels/log_reg/flip_labels" in text
+    assert "worst +0.200 DP on group sex" in text
+    assert "[dp-not-widened]" in text
+
+
+def test_fairness_snapshot_json_is_serialisable_and_sorted(run_dir, tmp_path):
+    write_events(
+        tmp_path / "study.trace.w4.jsonl",
+        [fairness_event(111.0), fairness_event(112.0, model="knn")],
+    )
+    payload = scan_run(run_dir, now=125.0).to_json()
+    assert json.loads(json.dumps(payload)) == payload
+    keys = list(payload["fairness"])
+    assert keys == sorted(keys)
+    assert payload["fairness_cells"] == 2

@@ -200,3 +200,108 @@ def test_default_run_health_is_empty():
     health = RunHealth()
     assert health.n_events == 0
     assert health.to_json()["phase_totals"] == {}
+    assert health.to_json()["untraced"] is False
+
+
+def fairness_point(model="log_reg", groups=None):
+    return point_event(
+        "fairness",
+        dataset="german",
+        error_type="mislabels",
+        detection="cleanlab",
+        repair="flip_labels",
+        model=model,
+        repetition=0,
+        seed=0,
+        acc={"dirty": 0.8, "repaired": 0.7},
+        groups=groups
+        or {
+            "sex": {"DP": [0.05, 0.30], "EO": [0.10, 0.05]},
+            "age": {"DP": [0.02, None]},
+        },
+    )
+
+
+def test_build_health_folds_fairness_events():
+    health = build_health([fairness_point(), fairness_point(model="knn")])
+    assert health.fairness_cells == 2
+    dp = health.fairness["DP"]
+    assert dp["pairs"] == 2  # age's None pair never counts
+    assert dp["widened"] == 2
+    assert dp["max_widening"] == 0.25
+    assert health.fairness["EO"]["widened"] == 0
+    worst = health.worst_widenings[0]
+    assert worst["coordinate"].endswith("/sex/DP")
+    assert worst["widening"] == 0.25
+    # the default DP rule fires on the 0.25 widening
+    assert any(a["rule"] == "dp-not-widened" for a in health.alerts)
+
+
+def test_render_health_report_shows_fairness_sections():
+    report = render_health_report(build_health([fairness_point()]))
+    assert "Fairness telemetry (1 cells audited)" in report
+    assert "worst gap widenings" in report
+    assert "Fairness alerts" in report
+    assert "[dp-not-widened]" in report
+
+
+def test_render_untraced_banner():
+    health = build_health([])
+    health.untraced = True
+    assert "untraced" in render_health_report(health).lower()
+
+
+# -- S2: byte-stable JSON output --------------------------------------
+
+
+def test_to_json_is_byte_stable_under_event_permutation():
+    """`obs-report --json` must emit identical bytes regardless of the
+    shard order events are read in."""
+    events = [
+        *SYNTHETIC_EVENTS,
+        fairness_point(),
+        fairness_point(model="knn"),
+        {
+            "v": 1,
+            "kind": "metric",
+            "type": "gauge",
+            "name": "rss_bytes",
+            "labels": {"site": "cell"},
+            "value": 123.0,
+        },
+    ]
+    forward = build_health(events).to_json()
+    backward = build_health(list(reversed(events))).to_json()
+    # reversal changes per-shard arrival order; scalar sums, dict key
+    # order and list tiebreaks must all still line up byte-for-byte
+    forward.pop("n_events"), backward.pop("n_events")
+    assert json.dumps(forward, sort_keys=True) == json.dumps(
+        backward, sort_keys=True
+    )
+
+
+def test_to_json_dict_keys_are_sorted_recursively():
+    health = build_health([*SYNTHETIC_EVENTS, fairness_point()])
+    payload = health.to_json()
+
+    def assert_sorted(value, path="$"):
+        if isinstance(value, dict):
+            assert list(value) == sorted(value), path
+            for key, child in value.items():
+                assert_sorted(child, f"{path}.{key}")
+        elif isinstance(value, list):
+            for index, child in enumerate(value):
+                assert_sorted(child, f"{path}[{index}]")
+
+    assert_sorted(payload)
+
+
+def test_slowest_cell_ties_break_deterministically():
+    ties = [
+        cell(repetition=i, model=model, seconds=0.5)
+        for model in ("log_reg", "knn")
+        for i in range(2)
+    ]
+    forward = build_health(ties).to_json()["slowest_cells"]
+    backward = build_health(list(reversed(ties))).to_json()["slowest_cells"]
+    assert forward == backward

@@ -1,0 +1,151 @@
+"""Tests for the declarative fairness alert rules (repro.obs.rules)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_RULES,
+    Alert,
+    AlertRule,
+    dedupe_alerts,
+    evaluate_gaps,
+    load_rules,
+)
+
+COORDS = dict(
+    dataset="german",
+    error_type="mislabels",
+    detection="cleanlab",
+    repair="flip_labels",
+    model="log_reg",
+)
+
+
+def test_rule_validation_rejects_unknown_kind_and_negative_epsilon():
+    with pytest.raises(ValueError, match="unknown rule kind"):
+        AlertRule(name="bad", kind="nope")
+    with pytest.raises(ValueError, match="epsilon"):
+        AlertRule(name="bad", epsilon=-0.1)
+
+
+def test_rule_scope_filters():
+    rule = AlertRule(name="scoped", dataset="german", group="sex")
+    assert rule.matches(dataset="german", group="sex", model="knn")
+    assert not rule.matches(dataset="adult", group="sex")
+    assert not rule.matches(dataset="german", group="age")
+    # unmentioned coordinates match anything
+    assert rule.matches(model="knn")
+
+
+def test_rule_to_json_omits_none_filters():
+    payload = AlertRule(name="dp", dataset="german").to_json()
+    assert payload["dataset"] == "german"
+    assert "group" not in payload
+    assert payload["kind"] == "no_widening"
+
+
+def test_no_widening_rule_fires_on_widened_gap():
+    rules = (AlertRule(name="dp", kind="no_widening", metric="DP", epsilon=0.1),)
+    alerts = evaluate_gaps(
+        rules, gaps={"sex": {"DP": [0.05, 0.30]}}, **COORDS
+    )
+    assert len(alerts) == 1
+    alert = alerts[0]
+    assert alert.rule == "dp"
+    assert alert.coordinate.endswith("/sex/DP")
+    assert alert.observed == pytest.approx(0.25)
+    # narrowing or within tolerance: silent
+    assert not evaluate_gaps(rules, gaps={"sex": {"DP": [0.30, 0.05]}}, **COORDS)
+    assert not evaluate_gaps(rules, gaps={"sex": {"DP": [0.05, 0.10]}}, **COORDS)
+
+
+def test_signed_gaps_compare_by_magnitude():
+    rules = (AlertRule(name="dp", metric="DP", epsilon=0.1),)
+    # sign flip with equal magnitude is not a widening
+    assert not evaluate_gaps(rules, gaps={"sex": {"DP": [0.2, -0.2]}}, **COORDS)
+    alerts = evaluate_gaps(rules, gaps={"sex": {"DP": [0.05, -0.30]}}, **COORDS)
+    assert alerts and alerts[0].observed == pytest.approx(0.25)
+
+
+def test_max_gap_rule():
+    rules = (AlertRule(name="cap", kind="max_gap", metric="EO", epsilon=0.2),)
+    alerts = evaluate_gaps(rules, gaps={"sex": {"EO": [None, 0.35]}}, **COORDS)
+    assert alerts and alerts[0].observed == pytest.approx(0.35)
+    assert not evaluate_gaps(rules, gaps={"sex": {"EO": [None, 0.15]}}, **COORDS)
+
+
+def test_accuracy_floor_rule():
+    rules = (AlertRule(name="acc", kind="accuracy_floor", epsilon=0.05),)
+    alerts = evaluate_gaps(
+        rules, gaps={}, dirty_acc=0.80, repaired_acc=0.70, **COORDS
+    )
+    assert alerts and alerts[0].observed == pytest.approx(0.10)
+    assert not evaluate_gaps(
+        rules, gaps={}, dirty_acc=0.80, repaired_acc=0.78, **COORDS
+    )
+    # missing accuracies never fire
+    assert not evaluate_gaps(rules, gaps={}, dirty_acc=None, **COORDS)
+
+
+def test_none_gap_values_never_fire():
+    rules = (
+        AlertRule(name="dp", metric="DP", epsilon=0.0),
+        AlertRule(name="cap", kind="max_gap", metric="DP", epsilon=0.0),
+    )
+    assert not evaluate_gaps(rules, gaps={"sex": {"DP": [None, None]}}, **COORDS)
+    assert not evaluate_gaps(rules, gaps={"sex": {"DP": [0.1, None]}}, **COORDS)
+    # no_widening needs the dirty side too
+    assert not evaluate_gaps(
+        (rules[0],), gaps={"sex": {"DP": [None, 0.9]}}, **COORDS
+    )
+
+
+def test_alerts_sorted_and_deduped():
+    rules = (AlertRule(name="dp", metric="DP", epsilon=0.0),)
+    first = evaluate_gaps(rules, gaps={"sex": {"DP": [0.0, 0.1]}}, **COORDS)
+    second = evaluate_gaps(rules, gaps={"sex": {"DP": [0.0, 0.4]}}, **COORDS)
+    deduped = dedupe_alerts(first + second + first)
+    assert len(deduped) == 1
+    assert deduped[0].observed == pytest.approx(0.4)
+
+
+def test_default_rules_cover_dp_eodds_and_accuracy():
+    kinds = {(rule.kind, rule.metric if rule.kind != "accuracy_floor" else None)
+             for rule in DEFAULT_RULES}
+    assert ("no_widening", "DP") in kinds
+    assert ("no_widening", "EOdds") in kinds
+    assert ("accuracy_floor", None) in kinds
+
+
+def test_load_rules_roundtrip_and_validation(tmp_path):
+    path = tmp_path / "rules.json"
+    path.write_text(
+        json.dumps(
+            [
+                {"name": "tight-dp", "metric": "DP", "epsilon": 0.02},
+                {
+                    "name": "german-only",
+                    "kind": "max_gap",
+                    "metric": "EO",
+                    "epsilon": 0.3,
+                    "dataset": "german",
+                },
+            ]
+        )
+    )
+    rules = load_rules(path)
+    assert [rule.name for rule in rules] == ["tight-dp", "german-only"]
+    assert rules[1].dataset == "german"
+
+    path.write_text(json.dumps({"name": "not-a-list"}))
+    with pytest.raises(ValueError, match="JSON list"):
+        load_rules(path)
+    path.write_text(json.dumps([{"name": "x", "bogus": 1}]))
+    with pytest.raises(ValueError, match="unknown fields"):
+        load_rules(path)
+
+
+def test_alert_to_json_is_plain_data():
+    alert = Alert(rule="r", coordinate="c", observed=0.5, limit=0.1, message="m")
+    assert json.loads(json.dumps(alert.to_json())) == alert.to_json()

@@ -532,3 +532,184 @@ def test_telemetry_flags_rejected_with_message(capsys, argv, flag):
         main(argv)
     assert excinfo.value.code == 2
     assert flag in capsys.readouterr().err
+
+
+# -- fairness observatory: obs-audit / obs-baseline ---------------------
+
+
+def test_study_records_a_run_ledger(telemetry_study, capsys):
+    """The telemetry study ran with the default --ledger: its fairness
+    audit landed in the sidecar ledger, listable via obs-baseline."""
+    from pathlib import Path
+
+    ledger = Path(telemetry_study).with_suffix("")
+    ledger = ledger.parent / (ledger.name + ".ledger.jsonl")
+    assert ledger.exists()
+    assert main(["obs-baseline", "list", telemetry_study]) == 0
+    out = capsys.readouterr().out
+    assert "records=3" in out
+
+
+def test_obs_baseline_pin_and_audit_self_is_clean(telemetry_study, capsys):
+    assert main(["obs-baseline", "pin", telemetry_study, "--name", "golden"]) == 0
+    capsys.readouterr()
+    code = main(
+        [
+            "obs-audit",
+            telemetry_study,
+            "--baseline",
+            "golden",
+            "--fail-on-fairness-regression",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "FAIRNESS AUDIT" in out
+    assert "no fairness regressions" in out
+
+
+def test_obs_audit_json_and_markdown(telemetry_study, tmp_path, capsys):
+    import json
+
+    report = tmp_path / "audit.md"
+    code = main(
+        [
+            "obs-audit",
+            telemetry_study,
+            "--baseline",
+            "latest",
+            "--json",
+            "--markdown",
+            str(report),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["audit"]["n_records"] == 3
+    assert payload["diff"]["regressions"] == []
+    assert "alerts" in payload
+    document = report.read_text()
+    assert document.startswith("# Fairness audit")
+    assert "No fairness regressions" in document
+    assert "## Audited coordinates" in document
+
+
+def test_obs_audit_gate_fires_on_injected_regression(
+    telemetry_study, tmp_path, capsys
+):
+    from repro.testing import inject_fairness_regression
+
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "obs-baseline",
+                "export",
+                telemetry_study,
+                "--output",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+    sabotaged = tmp_path / "sabotaged.json"
+    assert inject_fairness_regression(telemetry_study, sabotaged) == 3
+    capsys.readouterr()
+    report = tmp_path / "audit.md"
+    code = main(
+        [
+            "obs-audit",
+            str(sabotaged),
+            "--baseline",
+            str(baseline),
+            "--markdown",
+            str(report),
+            "--fail-on-fairness-regression",
+        ]
+    )
+    assert code == 3
+    assert "REGRESSION" in capsys.readouterr().out
+    assert "fairness regression" in report.read_text()
+    # report-only mode still exits 0 on the same regression
+    assert main(["obs-audit", str(sabotaged), "--baseline", str(baseline)]) == 0
+
+
+def test_obs_audit_gate_without_baseline_is_misuse(telemetry_study, capsys):
+    code = main(
+        ["obs-audit", telemetry_study, "--fail-on-fairness-regression"]
+    )
+    assert code == 2
+    assert "--baseline" in capsys.readouterr().out
+
+
+def test_obs_audit_empty_store_and_unknown_baseline(
+    telemetry_study, tmp_path, capsys
+):
+    assert main(["obs-audit", str(tmp_path / "none.json")]) == 1
+    capsys.readouterr()
+    assert main(["obs-audit", telemetry_study, "--baseline", "nope"]) == 1
+    assert "cannot resolve baseline" in capsys.readouterr().out
+
+
+def test_obs_audit_custom_rules_file(telemetry_study, tmp_path, capsys):
+    import json
+
+    rules = tmp_path / "rules.json"
+    rules.write_text(
+        json.dumps([{"name": "zero-tolerance", "metric": "DP", "epsilon": 0.0}])
+    )
+    assert main(["obs-audit", telemetry_study, "--rules", str(rules)]) == 0
+    out = capsys.readouterr().out
+    assert "FAIRNESS AUDIT" in out
+
+
+def test_obs_baseline_pin_requires_name_and_export_output(
+    telemetry_study, capsys
+):
+    assert main(["obs-baseline", "pin", telemetry_study]) == 2
+    assert "--name" in capsys.readouterr().out
+    assert main(["obs-baseline", "export", telemetry_study]) == 2
+    assert "--output" in capsys.readouterr().out
+
+
+def test_obs_baseline_list_without_ledger(tmp_path, capsys):
+    assert main(["obs-baseline", "list", str(tmp_path / "none.json")]) == 1
+    assert "no runs recorded" in capsys.readouterr().out
+
+
+def test_study_models_and_no_ledger_flags(tmp_path, capsys):
+    from repro.benchmark import ResultStore
+
+    store_path = str(tmp_path / "store.json")
+    code = main(
+        [
+            "study",
+            "--store",
+            store_path,
+            "--dataset",
+            "german",
+            "--error-type",
+            "mislabels",
+            "--n-sample",
+            "300",
+            "--repetitions",
+            "1",
+            "--models",
+            "log_reg",
+            "--no-ledger",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    store = ResultStore(store_path)
+    assert len(store) == 1  # one model, one repetition
+    assert {record.model for record in store.iter_records()} == {"log_reg"}
+    assert not (tmp_path / "store.ledger.jsonl").exists()
+
+
+def test_study_rejects_unknown_model(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", "--store", "s.json", "--models", "resnet"])
+    assert excinfo.value.code == 2
+    assert "--models" in capsys.readouterr().err
